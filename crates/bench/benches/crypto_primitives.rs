@@ -1,0 +1,45 @@
+//! Benchmarks of the from-scratch cryptographic primitives: hashing, stream
+//! encryption, uniform encoding and RSA signatures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use onion_crypto::chacha20::ChaCha20;
+use onion_crypto::digest::Digest;
+use onion_crypto::elligator::UniformEncoder;
+use onion_crypto::rsa::RsaKeyPair;
+use onion_crypto::sha1::Sha1;
+use onion_crypto::sha256::Sha256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha1_4k", |b| b.iter(|| Sha1::digest(&data)));
+    group.bench_function("sha256_4k", |b| b.iter(|| Sha256::digest(&data)));
+    group.bench_function("chacha20_4k", |b| {
+        let cipher = ChaCha20::new(&[7u8; 32], &[9u8; 12], 0);
+        b.iter(|| cipher.apply(&data));
+    });
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let keypair = RsaKeyPair::generate(512, &mut rng);
+    let encoder = UniformEncoder::new([3u8; 32]);
+    let mut group = c.benchmark_group("crypto_rsa");
+    group.bench_function("rsa512_sign", |b| b.iter(|| keypair.sign(b"command")));
+    let signature = keypair.sign(b"command");
+    group.bench_function("rsa512_verify", |b| {
+        b.iter(|| keypair.public().verify(b"command", &signature))
+    });
+    group.bench_function("uniform_encode_decode", |b| {
+        b.iter(|| {
+            let cell = encoder.encode(b"broadcast: maintenance", &mut rng).unwrap();
+            encoder.decode(&cell).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

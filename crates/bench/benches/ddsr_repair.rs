@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the DDSR maintenance operations: node removal with
+//! repair + pruning, versus plain removal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use onionbots_core::{DdsrConfig, DdsrOverlay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddsr_repair");
+    for &k in &[5usize, 10, 15] {
+        group.bench_function(format!("remove_with_repair_k{k}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let (overlay, ids) =
+                        DdsrOverlay::new_regular(500, k, DdsrConfig::for_degree(k), &mut rng);
+                    (overlay, ids, rng)
+                },
+                |(mut overlay, ids, mut rng)| {
+                    for id in ids.iter().take(50) {
+                        overlay.remove_node_with_repair(*id, &mut rng);
+                    }
+                    overlay
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("remove_without_repair_k10", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(1);
+                DdsrOverlay::new_regular(500, 10, DdsrConfig::for_degree(10), &mut rng)
+            },
+            |(mut overlay, ids)| {
+                for id in ids.iter().take(50) {
+                    overlay.remove_node_without_repair(*id);
+                }
+                overlay
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

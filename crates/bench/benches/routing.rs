@@ -1,0 +1,27 @@
+//! Benchmarks of overlay message propagation: flooding broadcast and greedy
+//! routing with and without Neighbors-of-Neighbor lookahead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_graph::generators::random_regular;
+use onionbots_core::routing::{flood_broadcast, greedy_route, non_greedy_route};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (graph, ids) = random_regular(1000, 10, &mut rng);
+    let mut group = c.benchmark_group("routing");
+    group.bench_function("flood_broadcast_n1000_k10", |b| {
+        b.iter(|| flood_broadcast(&graph, ids[0]));
+    });
+    group.bench_function("greedy_route_n1000_k10", |b| {
+        b.iter(|| greedy_route(&graph, ids[0], ids[999], 1000));
+    });
+    group.bench_function("non_greedy_route_n1000_k10", |b| {
+        b.iter(|| non_greedy_route(&graph, ids[0], ids[999], 1000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks of the SOAP mitigation: a single campaign iteration and a full
+//! neutralization run against a small basic OnionBot overlay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mitigation::soap::{SoapAttack, SoapConfig};
+use onionbots_core::{DdsrConfig, DdsrOverlay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_soap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soap_attack");
+    group.bench_function("single_iteration_n200_k10", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(8);
+                let (overlay, ids) =
+                    DdsrOverlay::new_regular(200, 10, DdsrConfig::for_degree(10), &mut rng);
+                let attack = SoapAttack::new(SoapConfig::default(), ids[0]);
+                (overlay, attack, rng)
+            },
+            |(mut overlay, mut attack, mut rng)| attack.step(&mut overlay, 1, &mut rng),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("full_campaign_n100_k6", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(9);
+                let (overlay, ids) =
+                    DdsrOverlay::new_regular(100, 6, DdsrConfig::for_degree(6), &mut rng);
+                let attack = SoapAttack::new(SoapConfig::default(), ids[0]);
+                (overlay, attack, rng)
+            },
+            |(mut overlay, mut attack, mut rng)| attack.run(&mut overlay, &mut rng),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_soap);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Table I: cryptographic use in different botnet families, plus the
+//! OnionBot design row for contrast.
+
+use botnet::crypto_catalog::{onionbot_row, render_table, table_one};
+
+fn main() {
+    println!("# Table I — cryptographic use in different botnets\n");
+    println!("{}", render_table(&table_one()));
+    println!("# With the OnionBot design for comparison\n");
+    let mut rows = table_one();
+    rows.push(onionbot_row());
+    println!("{}", render_table(&rows));
+}

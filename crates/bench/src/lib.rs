@@ -1,0 +1,72 @@
+//! # onionbots-bench
+//!
+//! Figure/table-regeneration harness for the OnionBots (DSN 2015)
+//! reproduction. Each binary in `src/bin/` regenerates one table or figure
+//! from the paper's evaluation (see `DESIGN.md` for the experiment index);
+//! the Criterion benchmarks in `benches/` cover the micro-level costs
+//! (repair, routing, metrics, descriptors, crypto, SOAP iterations).
+//!
+//! The binaries default to a scaled-down population so that a full
+//! regeneration run finishes in minutes on a laptop; pass `full` as the
+//! first CLI argument (or set `ONIONBOTS_FULL=1`) to run at the paper's
+//! scale (5000/15000 nodes).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Experiment scale selection shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down population for quick runs (default).
+    Quick,
+    /// The paper's population (5000 / 15000 nodes).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the process arguments / environment.
+    pub fn from_env() -> Self {
+        let arg_full = std::env::args().any(|a| a == "full" || a == "--full");
+        let env_full = std::env::var("ONIONBOTS_FULL").map_or(false, |v| v == "1" || v == "true");
+        if arg_full || env_full {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Scales a paper-sized population down for quick runs (divides by 10,
+    /// with a floor).
+    pub fn population(self, paper_size: usize) -> usize {
+        match self {
+            Scale::Full => paper_size,
+            Scale::Quick => (paper_size / 10).max(100),
+        }
+    }
+
+    /// Number of BFS sources for sampled metrics.
+    pub fn metric_samples(self) -> usize {
+        match self {
+            Scale::Full => 200,
+            Scale::Quick => 60,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_shrinks_paper_populations() {
+        assert_eq!(Scale::Quick.population(5000), 500);
+        assert_eq!(Scale::Quick.population(15000), 1500);
+        assert_eq!(Scale::Quick.population(500), 100);
+        assert_eq!(Scale::Full.population(5000), 5000);
+    }
+
+    #[test]
+    fn metric_samples_differ_by_scale() {
+        assert!(Scale::Full.metric_samples() > Scale::Quick.metric_samples());
+    }
+}

@@ -1,0 +1,90 @@
+//! Bot life-cycle states (§IV-A).
+//!
+//! "OnionBot retains the life cycle of a typical peer-to-peer bot", but every
+//! stage has Tor-specific behaviour: infection creates a `.onion` identity
+//! and key material, rally bootstraps into the self-healing overlay, waiting
+//! rotates addresses while listening for commands, execution runs
+//! authenticated commands. In this simulator "execution" only increments
+//! counters — commands are inert data.
+
+use serde::{Deserialize, Serialize};
+
+/// The four life-cycle stages of a bot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BotState {
+    /// Freshly compromised host: generates its key material and `.onion`
+    /// identity.
+    Infection,
+    /// Looking for existing members of the overlay (bootstrapping).
+    Rally,
+    /// Connected and idle, rotating addresses and relaying traffic.
+    Waiting,
+    /// Executing an authenticated command from the botmaster.
+    Execution,
+}
+
+impl BotState {
+    /// Whether the transition `self -> next` is allowed by the life cycle.
+    ///
+    /// Infection → Rally → Waiting ⇄ Execution; a bot can also fall back to
+    /// Rally from Waiting when it loses all of its peers.
+    pub fn can_transition_to(self, next: BotState) -> bool {
+        use BotState::{Execution, Infection, Rally, Waiting};
+        matches!(
+            (self, next),
+            (Infection, Rally)
+                | (Rally, Waiting)
+                | (Waiting, Execution)
+                | (Execution, Waiting)
+                | (Waiting, Rally)
+        )
+    }
+}
+
+impl std::fmt::Display for BotState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            BotState::Infection => "infection",
+            BotState::Rally => "rally",
+            BotState::Waiting => "waiting",
+            BotState::Execution => "execution",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BotState::{Execution, Infection, Rally, Waiting};
+
+    #[test]
+    fn normal_life_cycle_is_permitted() {
+        assert!(Infection.can_transition_to(Rally));
+        assert!(Rally.can_transition_to(Waiting));
+        assert!(Waiting.can_transition_to(Execution));
+        assert!(Execution.can_transition_to(Waiting));
+    }
+
+    #[test]
+    fn losing_all_peers_sends_a_bot_back_to_rally() {
+        assert!(Waiting.can_transition_to(Rally));
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        assert!(!Infection.can_transition_to(Waiting));
+        assert!(!Infection.can_transition_to(Execution));
+        assert!(!Rally.can_transition_to(Execution));
+        assert!(!Execution.can_transition_to(Infection));
+        assert!(!Waiting.can_transition_to(Infection));
+        assert!(!Waiting.can_transition_to(Waiting));
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        for s in [Infection, Rally, Waiting, Execution] {
+            assert_eq!(s.to_string(), s.to_string().to_lowercase());
+        }
+    }
+}

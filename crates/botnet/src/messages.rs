@@ -1,0 +1,311 @@
+//! C&C messages: commands, signatures and wire framing.
+//!
+//! Two classes of messages exist (§IV-D): C&C → bots (broadcast or directed)
+//! and bots → C&C (key reports, acknowledgements). Every message is signed,
+//! serialized and wrapped in a fixed-size uniform cell so relaying bots can
+//! route it without learning its source, destination or nature.
+//!
+//! All commands are **inert**: "executing" them in the simulator only
+//! increments counters. No operational attack capability exists here.
+
+use onion_crypto::elligator::UniformEncoder;
+use onion_crypto::error::CryptoError;
+use onion_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tor_sim::onion::OnionAddress;
+
+use crate::rental::RentalToken;
+
+/// The kinds of (simulated, inert) commands a botmaster can issue.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Maintenance no-op / keep-alive.
+    Maintenance,
+    /// Ask bots to rotate their addresses at the given period index.
+    RotateAddresses {
+        /// Period index to rotate to.
+        period: u64,
+    },
+    /// Simulated denial-of-service task against a named target label.
+    SimulatedDdos {
+        /// Opaque target label (never contacted).
+        target: String,
+    },
+    /// Simulated spam campaign with a template identifier.
+    SimulatedSpam {
+        /// Opaque campaign label.
+        campaign: String,
+    },
+    /// Simulated compute task (e.g. mining) measured in abstract work units.
+    SimulatedCompute {
+        /// Abstract work units to account.
+        work_units: u64,
+    },
+    /// Instruct a bot to replace one of its peers (maintenance message
+    /// directed at an individual node).
+    ReplacePeer {
+        /// Address to drop.
+        drop: OnionAddress,
+        /// Address to adopt.
+        adopt: OnionAddress,
+    },
+}
+
+impl CommandKind {
+    /// Stable name used in rental-token whitelists.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommandKind::Maintenance => "maintenance",
+            CommandKind::RotateAddresses { .. } => "rotate-addresses",
+            CommandKind::SimulatedDdos { .. } => "simulated-ddos",
+            CommandKind::SimulatedSpam { .. } => "simulated-spam",
+            CommandKind::SimulatedCompute { .. } => "simulated-compute",
+            CommandKind::ReplacePeer { .. } => "replace-peer",
+        }
+    }
+}
+
+/// Addressing of a command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Audience {
+    /// Every bot should act on the command.
+    Broadcast,
+    /// Only the bots whose current addresses are listed should act; others
+    /// relay without acting (and cannot tell the difference from outside the
+    /// envelope).
+    Directed(Vec<OnionAddress>),
+}
+
+/// A signed command envelope.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedCommand {
+    /// The command payload.
+    pub command: CommandKind,
+    /// Who should act on it.
+    pub audience: Audience,
+    /// Monotonic sequence number (replay protection).
+    pub sequence: u64,
+    /// Issue time (seconds).
+    pub issued_at_secs: u64,
+    /// Rental token when the issuer is a renter rather than the botmaster.
+    pub token: Option<RentalToken>,
+    /// Signature over the canonical encoding, by the botmaster or renter.
+    pub signature: Vec<u8>,
+}
+
+impl SignedCommand {
+    fn signing_bytes(
+        command: &CommandKind,
+        audience: &Audience,
+        sequence: u64,
+        issued_at_secs: u64,
+        token: &Option<RentalToken>,
+    ) -> Vec<u8> {
+        // serde_json is stable for this fixed structure and keeps the
+        // canonical form human-auditable.
+        let canonical = serde_json::json!({
+            "command": command,
+            "audience": audience,
+            "sequence": sequence,
+            "issued_at_secs": issued_at_secs,
+            "token": token,
+        });
+        canonical.to_string().into_bytes()
+    }
+
+    /// Signs a command with the given key (botmaster, or renter when a token
+    /// is attached).
+    pub fn sign(
+        signer: &RsaKeyPair,
+        command: CommandKind,
+        audience: Audience,
+        sequence: u64,
+        issued_at_secs: u64,
+        token: Option<RentalToken>,
+    ) -> Self {
+        let body = Self::signing_bytes(&command, &audience, sequence, issued_at_secs, &token);
+        let signature = signer.sign(&body);
+        SignedCommand {
+            command,
+            audience,
+            sequence,
+            issued_at_secs,
+            token,
+            signature,
+        }
+    }
+
+    /// Verifies the command as a bot would (§IV-E): directly signed commands
+    /// must verify under the botmaster key; token-bearing commands must carry
+    /// a valid token (signed by the botmaster, unexpired, whitelisting the
+    /// command) and verify under the renter key embedded in the token.
+    pub fn verify(&self, botmaster: &RsaPublicKey, now_secs: u64) -> bool {
+        let body = Self::signing_bytes(
+            &self.command,
+            &self.audience,
+            self.sequence,
+            self.issued_at_secs,
+            &self.token,
+        );
+        match &self.token {
+            None => botmaster.verify(&body, &self.signature),
+            Some(token) => {
+                if !token.verify(botmaster, now_secs) {
+                    return false;
+                }
+                if !token.permits(&self.command) {
+                    return false;
+                }
+                let Ok(renter_key) = RsaPublicKey::decode(&token.renter_public_key) else {
+                    return false;
+                };
+                renter_key.verify(&body, &self.signature)
+            }
+        }
+    }
+
+    /// Whether a bot with address `addr` should act on (not merely relay)
+    /// this command.
+    pub fn applies_to(&self, addr: OnionAddress) -> bool {
+        match &self.audience {
+            Audience::Broadcast => true,
+            Audience::Directed(list) => list.contains(&addr),
+        }
+    }
+
+    /// Serializes and wraps the command in a fixed-size uniform cell under a
+    /// link key.
+    ///
+    /// # Errors
+    /// Propagates encoding failures (oversized command).
+    pub fn to_cell<R: Rng + ?Sized>(
+        &self,
+        encoder: &UniformEncoder,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let bytes = serde_json::to_vec(self)
+            .map_err(|e| CryptoError::InvalidEncoding(e.to_string()))?;
+        encoder.encode(&bytes, rng)
+    }
+
+    /// Decodes a command from a uniform cell.
+    ///
+    /// # Errors
+    /// Fails when the cell cannot be decoded or does not contain a valid
+    /// command structure.
+    pub fn from_cell(encoder: &UniformEncoder, cell: &[u8]) -> Result<Self, CryptoError> {
+        let bytes = encoder.decode(cell)?;
+        serde_json::from_slice(&bytes).map_err(|e| CryptoError::InvalidEncoding(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn botmaster_signed_broadcast_verifies() {
+        let master = keypair(1);
+        let cmd = SignedCommand::sign(
+            &master,
+            CommandKind::Maintenance,
+            Audience::Broadcast,
+            1,
+            100,
+            None,
+        );
+        assert!(cmd.verify(master.public(), 100));
+        assert!(cmd.applies_to(OnionAddress::from_identifier([1; 10])));
+    }
+
+    #[test]
+    fn tampered_commands_fail_verification() {
+        let master = keypair(2);
+        let mut cmd = SignedCommand::sign(
+            &master,
+            CommandKind::SimulatedDdos {
+                target: "example.com".to_string(),
+            },
+            Audience::Broadcast,
+            2,
+            100,
+            None,
+        );
+        cmd.command = CommandKind::SimulatedDdos {
+            target: "other.example".to_string(),
+        };
+        assert!(!cmd.verify(master.public(), 100));
+    }
+
+    #[test]
+    fn commands_from_unrelated_keys_are_rejected() {
+        let master = keypair(3);
+        let impostor = keypair(4);
+        let cmd = SignedCommand::sign(
+            &impostor,
+            CommandKind::Maintenance,
+            Audience::Broadcast,
+            1,
+            50,
+            None,
+        );
+        assert!(!cmd.verify(master.public(), 50));
+    }
+
+    #[test]
+    fn directed_commands_only_apply_to_listed_addresses() {
+        let master = keypair(5);
+        let a = OnionAddress::from_identifier([1; 10]);
+        let b = OnionAddress::from_identifier([2; 10]);
+        let cmd = SignedCommand::sign(
+            &master,
+            CommandKind::ReplacePeer { drop: a, adopt: b },
+            Audience::Directed(vec![a]),
+            7,
+            10,
+            None,
+        );
+        assert!(cmd.applies_to(a));
+        assert!(!cmd.applies_to(b));
+    }
+
+    #[test]
+    fn uniform_cell_roundtrip_and_size_uniformity() {
+        let master = keypair(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let encoder = UniformEncoder::new([9u8; 32]);
+        let small = SignedCommand::sign(&master, CommandKind::Maintenance, Audience::Broadcast, 1, 5, None);
+        let large = SignedCommand::sign(
+            &master,
+            CommandKind::SimulatedSpam {
+                campaign: "c".repeat(80),
+            },
+            Audience::Broadcast,
+            2,
+            5,
+            None,
+        );
+        let cell_small = small.to_cell(&encoder, &mut rng).unwrap();
+        let cell_large = large.to_cell(&encoder, &mut rng).unwrap();
+        assert_eq!(cell_small.len(), cell_large.len(), "cells are indistinguishable by size");
+        assert_eq!(SignedCommand::from_cell(&encoder, &cell_small).unwrap(), small);
+        assert_eq!(SignedCommand::from_cell(&encoder, &cell_large).unwrap(), large);
+    }
+
+    #[test]
+    fn command_names_are_stable() {
+        assert_eq!(CommandKind::Maintenance.name(), "maintenance");
+        assert_eq!(
+            CommandKind::SimulatedCompute { work_units: 5 }.name(),
+            "simulated-compute"
+        );
+    }
+}

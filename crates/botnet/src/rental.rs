@@ -1,0 +1,149 @@
+//! Botnet-for-rent tokens (§IV-E).
+//!
+//! "Trudy sends her public key PK_T to Mallory, to be signed by the private
+//! key of Mallory SK_M. The signed message (T_T) acts as a token containing
+//! PK_T, an expiration time, and a list of whitelisted commands." Bots verify
+//! a renter's command by checking the token signature (chain of trust to the
+//! botmaster), the expiration timestamp, and the whitelist.
+
+use onion_crypto::rsa::{EncodedPublicKey, RsaKeyPair, RsaPublicKey};
+use serde::{Deserialize, Serialize};
+
+use crate::messages::CommandKind;
+
+/// A rental token: the botmaster's certification of a renter key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RentalToken {
+    /// The renter's public key.
+    pub renter_public_key: EncodedPublicKey,
+    /// Expiration time (seconds); commands verified after this time fail.
+    pub expires_at_secs: u64,
+    /// Names of the commands the renter may issue (see
+    /// [`CommandKind::name`]).
+    pub whitelisted_commands: Vec<String>,
+    /// Botmaster signature over the token body.
+    pub signature: Vec<u8>,
+}
+
+impl RentalToken {
+    fn signing_bytes(
+        renter_public_key: &EncodedPublicKey,
+        expires_at_secs: u64,
+        whitelisted_commands: &[String],
+    ) -> Vec<u8> {
+        let canonical = serde_json::json!({
+            "renter": renter_public_key,
+            "expires_at_secs": expires_at_secs,
+            "whitelist": whitelisted_commands,
+        });
+        canonical.to_string().into_bytes()
+    }
+
+    /// Issues a token: the botmaster signs the renter's key, an expiration
+    /// time and a command whitelist.
+    pub fn issue(
+        botmaster: &RsaKeyPair,
+        renter_public_key: &RsaPublicKey,
+        expires_at_secs: u64,
+        whitelisted_commands: Vec<String>,
+    ) -> Self {
+        let renter_public_key = renter_public_key.encode();
+        let body = Self::signing_bytes(&renter_public_key, expires_at_secs, &whitelisted_commands);
+        let signature = botmaster.sign(&body);
+        RentalToken {
+            renter_public_key,
+            expires_at_secs,
+            whitelisted_commands,
+            signature,
+        }
+    }
+
+    /// Verifies the token: signed by the botmaster and not expired.
+    pub fn verify(&self, botmaster: &RsaPublicKey, now_secs: u64) -> bool {
+        if now_secs > self.expires_at_secs {
+            return false;
+        }
+        let body = Self::signing_bytes(
+            &self.renter_public_key,
+            self.expires_at_secs,
+            &self.whitelisted_commands,
+        );
+        botmaster.verify(&body, &self.signature)
+    }
+
+    /// Whether the token whitelists the given command kind.
+    pub fn permits(&self, command: &CommandKind) -> bool {
+        self.whitelisted_commands
+            .iter()
+            .any(|name| name == command.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn issued_tokens_verify_until_expiry() {
+        let master = keypair(1);
+        let renter = keypair(2);
+        let token = RentalToken::issue(
+            &master,
+            renter.public(),
+            1_000,
+            vec!["simulated-compute".to_string()],
+        );
+        assert!(token.verify(master.public(), 999));
+        assert!(token.verify(master.public(), 1_000));
+        assert!(!token.verify(master.public(), 1_001), "expired tokens are rejected");
+    }
+
+    #[test]
+    fn tokens_from_other_masters_are_rejected() {
+        let master = keypair(3);
+        let other = keypair(4);
+        let renter = keypair(5);
+        let token = RentalToken::issue(&other, renter.public(), 500, vec![]);
+        assert!(!token.verify(master.public(), 100));
+    }
+
+    #[test]
+    fn tampering_with_the_whitelist_breaks_the_token() {
+        let master = keypair(6);
+        let renter = keypair(7);
+        let mut token = RentalToken::issue(
+            &master,
+            renter.public(),
+            500,
+            vec!["maintenance".to_string()],
+        );
+        token
+            .whitelisted_commands
+            .push("simulated-ddos".to_string());
+        assert!(!token.verify(master.public(), 100));
+    }
+
+    #[test]
+    fn whitelist_controls_permitted_commands() {
+        let master = keypair(8);
+        let renter = keypair(9);
+        let token = RentalToken::issue(
+            &master,
+            renter.public(),
+            500,
+            vec!["simulated-compute".to_string(), "maintenance".to_string()],
+        );
+        assert!(token.permits(&CommandKind::SimulatedCompute { work_units: 1 }));
+        assert!(token.permits(&CommandKind::Maintenance));
+        assert!(!token.permits(&CommandKind::SimulatedDdos {
+            target: "x".to_string()
+        }));
+    }
+}

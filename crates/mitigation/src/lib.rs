@@ -1,0 +1,71 @@
+//! # mitigation
+//!
+//! Mitigations and counter-mitigations from the OnionBots paper (§VI–VII):
+//!
+//! * [`soap`] — the **Sybil Onion Attack Protocol**, the paper's proposed
+//!   defender-side mitigation: surround every bot with clone hidden services
+//!   until the botnet is partitioned into contained nodes (Figure 7).
+//! * [`hsdir_attack`] — the generic Tor-level mitigation: position
+//!   adversarial relays on the HSDir ring to deny a bot's descriptors, and
+//!   why address rotation blunts it.
+//! * [`defenses`] — the attacker-side responses the paper anticipates
+//!   (proof of work, rate limiting) and their costs.
+//! * [`superonion`] — the SuperOnion construction (§VII-B, Figure 8) that
+//!   survives soaping of a strict subset of its virtual nodes.
+//!
+//! This crate exists so defenders can study containment dynamics; the
+//! "attacker" counter-measures are implemented to measure how much they slow
+//! the mitigation down, which is exactly the open trade-off the paper asks
+//! the community to quantify.
+//!
+//! ```
+//! use mitigation::soap::{SoapAttack, SoapConfig};
+//! use onionbots_core::{DdsrConfig, DdsrOverlay};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (mut overlay, ids) = DdsrOverlay::new_regular(30, 6, DdsrConfig::for_degree(6), &mut rng);
+//! let mut soap = SoapAttack::new(SoapConfig::default(), ids[0]);
+//! let outcome = soap.run(&mut overlay, &mut rng);
+//! assert!(outcome.neutralized);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod defended_soap;
+pub mod defenses;
+pub mod hsdir_attack;
+pub mod soap;
+pub mod superonion;
+
+pub use soap::{SoapAttack, SoapConfig, SoapOutcome};
+pub use superonion::{SuperOnion, SuperOnionConfig};
+
+#[cfg(test)]
+mod property_tests {
+    use crate::soap::{SoapAttack, SoapConfig};
+    use onionbots_core::{DdsrConfig, DdsrOverlay};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// SOAP neutralizes any small basic OnionBot overlay regardless of
+        /// its seed or degree.
+        #[test]
+        fn soap_always_neutralizes_basic_onionbots(seed in 0u64..100, k in 3usize..7) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 24usize;
+            let (mut overlay, ids) = DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), &mut rng);
+            let mut soap = SoapAttack::new(SoapConfig::default(), ids[0]);
+            let outcome = soap.run(&mut overlay, &mut rng);
+            prop_assert!(outcome.neutralized);
+            // At the end of the campaign every discovered bot is contained.
+            let last = outcome.trace.last().unwrap();
+            prop_assert_eq!(last.contained_bots, last.discovered_bots);
+        }
+    }
+}

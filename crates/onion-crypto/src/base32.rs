@@ -1,0 +1,113 @@
+//! RFC 4648 base32 (lowercase, unpadded) — the encoding Tor uses for
+//! `.onion` hostnames.
+//!
+//! A v2 onion address is the base32 encoding of the first 10 bytes of the
+//! SHA-1 digest of the service's RSA public key (§III of the paper), which is
+//! why this module only needs the lowercase unpadded variant.
+//!
+//! ```
+//! let encoded = onion_crypto::base32::encode(&[0xff, 0x00, 0xab]);
+//! let decoded = onion_crypto::base32::decode(&encoded).unwrap();
+//! assert_eq!(decoded, vec![0xff, 0x00, 0xab]);
+//! ```
+
+use crate::error::CryptoError;
+
+const ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Encodes bytes as lowercase, unpadded base32.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    let mut buffer: u64 = 0;
+    let mut bits: u32 = 0;
+    for &byte in data {
+        buffer = (buffer << 8) | u64::from(byte);
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            let idx = ((buffer >> bits) & 0x1f) as usize;
+            out.push(ALPHABET[idx] as char);
+        }
+    }
+    if bits > 0 {
+        let idx = ((buffer << (5 - bits)) & 0x1f) as usize;
+        out.push(ALPHABET[idx] as char);
+    }
+    out
+}
+
+/// Decodes lowercase or uppercase unpadded base32.
+///
+/// # Errors
+/// Returns [`CryptoError::InvalidEncoding`] for characters outside the
+/// RFC 4648 alphabet.
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let mut out = Vec::with_capacity(s.len() * 5 / 8);
+    let mut buffer: u64 = 0;
+    let mut bits: u32 = 0;
+    for ch in s.chars() {
+        let c = ch.to_ascii_lowercase();
+        let value = match c {
+            'a'..='z' => c as u64 - 'a' as u64,
+            '2'..='7' => c as u64 - '2' as u64 + 26,
+            '=' => continue,
+            _ => {
+                return Err(CryptoError::InvalidEncoding(format!(
+                    "invalid base32 character {ch:?}"
+                )))
+            }
+        };
+        buffer = (buffer << 5) | value;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((buffer >> bits) & 0xff) as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // RFC 4648 test vectors, lowercased and unpadded.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "my");
+        assert_eq!(encode(b"fo"), "mzxq");
+        assert_eq!(encode(b"foo"), "mzxw6");
+        assert_eq!(encode(b"foob"), "mzxw6yq");
+        assert_eq!(encode(b"fooba"), "mzxw6ytb");
+        assert_eq!(encode(b"foobar"), "mzxw6ytboi");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("mzxw6ytboi").unwrap(), b"foobar".to_vec());
+        assert_eq!(decode("MZXW6YTBOI").unwrap(), b"foobar".to_vec());
+        assert_eq!(decode("mzxw6yq=").unwrap(), b"foob".to_vec());
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for len in 0..40usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn onion_address_shape() {
+        // A 10-byte identifier encodes to the familiar 16-character onion label.
+        let identifier = [0u8; 10];
+        assert_eq!(encode(&identifier).len(), 16);
+    }
+
+    #[test]
+    fn rejects_invalid_characters() {
+        assert!(decode("not base32 !!").is_err());
+        assert!(decode("0189").is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`Digest`] trait shared by the hash functions in this crate.
+//!
+//! ```
+//! use onion_crypto::digest::Digest;
+//! use onion_crypto::sha256::Sha256;
+//!
+//! let mut hasher = Sha256::new();
+//! hasher.update(b"hello ");
+//! hasher.update(b"world");
+//! assert_eq!(hasher.finalize(), Sha256::digest(b"hello world"));
+//! ```
+
+/// A streaming cryptographic hash function.
+pub trait Digest: Sized {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block length in bytes (used by HMAC).
+    const BLOCK_LEN: usize;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+
+    /// Absorbs more input.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut hasher = Self::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    #[test]
+    fn block_lengths_match_fips_parameters() {
+        assert_eq!(<Sha1 as Digest>::BLOCK_LEN, 64);
+        assert_eq!(<Sha256 as Digest>::BLOCK_LEN, 64);
+    }
+
+    #[test]
+    fn oneshot_equals_streaming_for_all_impls() {
+        fn check<D: Digest>() {
+            let data = b"the quick brown fox jumps over the lazy dog";
+            let mut h = D::new();
+            h.update(&data[..10]);
+            h.update(&data[10..]);
+            assert_eq!(h.finalize(), D::digest(data));
+        }
+        check::<Sha1>();
+        check::<Sha256>();
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the `onion-crypto` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An encoded input (hex, base32, padded message) was malformed.
+    InvalidEncoding(String),
+    /// Input length is not valid for the operation.
+    InvalidLength {
+        /// What the operation expected.
+        expected: String,
+        /// The length that was provided.
+        actual: usize,
+    },
+    /// A signature or MAC failed verification.
+    VerificationFailed,
+    /// A message is too large for the RSA modulus in use.
+    MessageTooLarge,
+    /// RSA decryption found malformed padding.
+    InvalidPadding,
+    /// A modular inverse does not exist (key generation retry is expected).
+    NotInvertible,
+    /// Key generation failed after exhausting its retry budget.
+    KeyGenerationFailed(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidEncoding(msg) => write!(f, "invalid encoding: {msg}"),
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid length: expected {expected}, got {actual}")
+            }
+            CryptoError::VerificationFailed => write!(f, "signature or mac verification failed"),
+            CryptoError::MessageTooLarge => write!(f, "message too large for modulus"),
+            CryptoError::InvalidPadding => write!(f, "invalid padding"),
+            CryptoError::NotInvertible => write!(f, "value is not invertible modulo the modulus"),
+            CryptoError::KeyGenerationFailed(msg) => write!(f, "key generation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let variants = [
+            CryptoError::InvalidEncoding("bad".into()),
+            CryptoError::InvalidLength {
+                expected: "32 bytes".into(),
+                actual: 3,
+            },
+            CryptoError::VerificationFailed,
+            CryptoError::MessageTooLarge,
+            CryptoError::InvalidPadding,
+            CryptoError::NotInvertible,
+            CryptoError::KeyGenerationFailed("ran out of candidates".into()),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_lowercase(), "message should be lowercase: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,115 @@
+//! HMAC (RFC 2104) over any [`Digest`] implementation.
+//!
+//! The OnionBot C&C channel authenticates maintenance and command messages
+//! with per-link MACs on top of the shared symmetric key `K_B` (§IV-D).
+//!
+//! ```
+//! use onion_crypto::hmac::hmac;
+//! use onion_crypto::sha256::Sha256;
+//!
+//! let tag = hmac::<Sha256>(b"shared-key", b"change your peers");
+//! assert_eq!(tag.len(), 32);
+//! ```
+
+use crate::digest::Digest;
+
+/// Computes `HMAC_D(key, message)`.
+pub fn hmac<D: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
+    let block_len = D::BLOCK_LEN;
+    // Keys longer than the block size are hashed first, shorter keys are
+    // right-padded with zeros.
+    let mut key_block = if key.len() > block_len {
+        D::digest(key)
+    } else {
+        key.to_vec()
+    };
+    key_block.resize(block_len, 0);
+
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+
+    let mut inner = D::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = D::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verifies an HMAC tag in constant time with respect to tag contents.
+pub fn hmac_verify<D: Digest>(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    let expected = hmac::<D>(key, message);
+    if expected.len() != tag.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        // RFC 4231 test case 1: key = 0x0b * 20, data = "Hi There".
+        let key = [0x0bu8; 20];
+        let tag = hmac::<Sha256>(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        // key = "Jefe", data = "what do ya want for nothing?"
+        let tag = hmac::<Sha256>(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_test_case_2() {
+        // HMAC-SHA1, key = "Jefe", data = "what do ya want for nothing?"
+        let tag = hmac::<Sha1>(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex::encode(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let long_key = vec![0xaau8; 200];
+        let tag = hmac::<Sha256>(&long_key, b"payload");
+        let hashed_key = Sha256::digest(&long_key);
+        assert_eq!(tag, hmac::<Sha256>(&hashed_key, b"payload"));
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_invalid() {
+        let key = b"k_b-shared-with-botmaster";
+        let msg = b"maintenance: rotate address";
+        let tag = hmac::<Sha256>(key, msg);
+        assert!(hmac_verify::<Sha256>(key, msg, &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!hmac_verify::<Sha256>(key, msg, &bad));
+        assert!(!hmac_verify::<Sha256>(key, b"other message", &tag));
+        assert!(!hmac_verify::<Sha256>(key, msg, &tag[..16]));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        assert_ne!(hmac::<Sha256>(b"k1", b"m"), hmac::<Sha256>(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Key derivation for periodic `.onion` address rotation.
+//!
+//! The paper specifies (§IV-D) that after establishing the shared symmetric
+//! key `K_B` with the C&C, each bot periodically regenerates its hidden
+//! service key as `generateKey(PK_CC, H(K_B, i_p))`, where `H` is a hash
+//! function and `i_p` is the index of the period (e.g. the day number). Both
+//! the bot and the botmaster can therefore compute the bot's current
+//! `.onion` address without any communication, while an observer who captures
+//! one address learns nothing about future addresses without `K_B`.
+//!
+//! ```
+//! use onion_crypto::kdf::{derive_period_secret, derive_period_seed};
+//! use onion_crypto::rsa::RsaKeyPair;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let cc = RsaKeyPair::generate(512, &mut rng);
+//! let k_b = [0x11u8; 32];
+//! let today = derive_period_secret(cc.public(), &k_b, 100);
+//! let tomorrow = derive_period_secret(cc.public(), &k_b, 101);
+//! assert_ne!(today, tomorrow);
+//! ```
+
+use crate::digest::Digest;
+use crate::hmac::hmac;
+use crate::rsa::RsaPublicKey;
+use crate::sha256::Sha256;
+
+/// Derives the 32-byte period secret `generateKey(PK_CC, H(K_B, i_p))`.
+///
+/// The inner hash binds the shared key `K_B` to the period index; the outer
+/// HMAC binds the result to the botmaster's public key so that two botnets
+/// operated by different masters never collide even if they reuse `K_B`
+/// values.
+pub fn derive_period_secret(pk_cc: &RsaPublicKey, k_b: &[u8], period: u64) -> [u8; 32] {
+    let mut inner_input = Vec::with_capacity(k_b.len() + 8);
+    inner_input.extend_from_slice(k_b);
+    inner_input.extend_from_slice(&period.to_be_bytes());
+    let inner = Sha256::digest(&inner_input);
+    let tag = hmac::<Sha256>(&pk_cc.to_bytes(), &inner);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&tag);
+    out
+}
+
+/// Expands a period secret into a deterministic 64-bit seed, used by the
+/// simulator to seed the RSA key generation RNG for that period's hidden
+/// service identity.
+pub fn derive_period_seed(pk_cc: &RsaPublicKey, k_b: &[u8], period: u64) -> u64 {
+    let secret = derive_period_secret(pk_cc, k_b, period);
+    u64::from_be_bytes([
+        secret[0], secret[1], secret[2], secret[3], secret[4], secret[5], secret[6], secret[7],
+    ])
+}
+
+/// Derives a per-link symmetric key from two endpoint identifiers and a
+/// shared botnet secret, modelling the unique per-link encryption keys the
+/// paper requires ("the encryption keys are unique to each link", §IV-E).
+pub fn derive_link_key(shared_secret: &[u8], endpoint_a: &[u8], endpoint_b: &[u8]) -> [u8; 32] {
+    // Order the endpoints so both sides derive the same key.
+    let (first, second) = if endpoint_a <= endpoint_b {
+        (endpoint_a, endpoint_b)
+    } else {
+        (endpoint_b, endpoint_a)
+    };
+    let mut data = Vec::with_capacity(first.len() + second.len() + 9);
+    data.extend_from_slice(b"link-key|");
+    data.extend_from_slice(first);
+    data.extend_from_slice(second);
+    let tag = hmac::<Sha256>(shared_secret, &data);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&tag);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cc_key(seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn period_secret_is_deterministic() {
+        let cc = cc_key(1);
+        let k_b = [7u8; 32];
+        assert_eq!(
+            derive_period_secret(cc.public(), &k_b, 42),
+            derive_period_secret(cc.public(), &k_b, 42)
+        );
+    }
+
+    #[test]
+    fn different_periods_give_different_secrets() {
+        let cc = cc_key(2);
+        let k_b = [9u8; 32];
+        let secrets: Vec<[u8; 32]> = (0..10).map(|p| derive_period_secret(cc.public(), &k_b, p)).collect();
+        for i in 0..secrets.len() {
+            for j in i + 1..secrets.len() {
+                assert_ne!(secrets[i], secrets[j], "periods {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn different_bots_give_different_secrets() {
+        let cc = cc_key(3);
+        assert_ne!(
+            derive_period_secret(cc.public(), &[1u8; 32], 5),
+            derive_period_secret(cc.public(), &[2u8; 32], 5)
+        );
+    }
+
+    #[test]
+    fn different_botmasters_give_different_secrets() {
+        let cc1 = cc_key(4);
+        let cc2 = cc_key(5);
+        let k_b = [3u8; 32];
+        assert_ne!(
+            derive_period_secret(cc1.public(), &k_b, 5),
+            derive_period_secret(cc2.public(), &k_b, 5)
+        );
+    }
+
+    #[test]
+    fn period_seed_matches_secret_prefix() {
+        let cc = cc_key(6);
+        let k_b = [4u8; 32];
+        let secret = derive_period_secret(cc.public(), &k_b, 77);
+        let seed = derive_period_seed(cc.public(), &k_b, 77);
+        assert_eq!(seed.to_be_bytes(), secret[..8]);
+    }
+
+    #[test]
+    fn link_key_is_symmetric_in_endpoints() {
+        let secret = b"botnet-shared";
+        let a = b"onion-address-a";
+        let b = b"onion-address-b";
+        assert_eq!(derive_link_key(secret, a, b), derive_link_key(secret, b, a));
+        assert_ne!(
+            derive_link_key(secret, a, b),
+            derive_link_key(secret, a, b"onion-address-c")
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests over the cryptographic primitives.
+//!
+//! These complement the unit tests (which pin known-answer vectors) with
+//! randomized structural properties: algebraic identities of the big-integer
+//! arithmetic, roundtrip laws of the encodings, and involution/uniformity
+//! properties of the symmetric layers.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::base32;
+use crate::bignum::BigUint;
+use crate::chacha20::ChaCha20;
+use crate::digest::Digest;
+use crate::elligator::{UniformEncoder, MAX_PAYLOAD_LEN};
+use crate::hex;
+use crate::hmac::{hmac, hmac_verify};
+use crate::sha256::Sha256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u8>(), 0..48).prop_map(|bytes| BigUint::from_bytes_be(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Addition and subtraction are inverse operations.
+    #[test]
+    fn bignum_add_sub_roundtrip(a in biguint_strategy(), b in biguint_strategy()) {
+        let sum = a.add_ref(&b);
+        prop_assert_eq!(sum.sub_ref(&b), a.clone());
+        prop_assert_eq!(sum.sub_ref(&a), b);
+    }
+
+    /// Multiplication distributes over addition.
+    #[test]
+    fn bignum_mul_distributes(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        let left = a.mul_ref(&b.add_ref(&c));
+        let right = a.mul_ref(&b).add_ref(&a.mul_ref(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Division identity: a = q * d + r with r < d.
+    #[test]
+    fn bignum_div_rem_identity(a in biguint_strategy(), d in biguint_strategy()) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul_ref(&d).add_ref(&r), a);
+    }
+
+    /// Shifting left then right by the same amount is the identity.
+    #[test]
+    fn bignum_shift_roundtrip(a in biguint_strategy(), bits in 0usize..100) {
+        prop_assert_eq!(a.shl(bits).shr(bits), a);
+    }
+
+    /// Byte and hex serialization roundtrip.
+    #[test]
+    fn bignum_serialization_roundtrip(a in biguint_strategy()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    /// Modular exponentiation respects the multiplicative property
+    /// (a*b)^e = a^e * b^e (mod m).
+    #[test]
+    fn bignum_mod_exp_is_multiplicative(a in biguint_strategy(), b in biguint_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BigUint::random_bits(&mut rng, 64);
+        prop_assume!(!m.is_zero() && !m.is_one());
+        let e = BigUint::from_u64(65_537);
+        let left = a.mul_ref(&b).mod_exp(&e, &m);
+        let right = a.mod_exp(&e, &m).mul_ref(&b.mod_exp(&e, &m)).rem_ref(&m);
+        prop_assert_eq!(left, right);
+    }
+
+    /// hex and base32 encodings roundtrip arbitrary byte strings.
+    #[test]
+    fn encodings_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&bytes)).unwrap(), bytes.clone());
+        prop_assert_eq!(base32::decode(&base32::encode(&bytes)).unwrap(), bytes);
+    }
+
+    /// ChaCha20 is an involution under a fixed key/nonce/counter.
+    #[test]
+    fn chacha20_involution(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        counter in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let cipher = ChaCha20::new(&key, &nonce, counter);
+        prop_assert_eq!(cipher.apply(&cipher.apply(&data)), data);
+    }
+
+    /// HMAC verifies its own output and rejects single-bit tampering.
+    #[test]
+    fn hmac_verifies_and_rejects_tampering(
+        key in prop::collection::vec(any::<u8>(), 1..80),
+        msg in prop::collection::vec(any::<u8>(), 0..200),
+        flip_bit in 0usize..256,
+    ) {
+        let tag = hmac::<Sha256>(&key, &msg);
+        prop_assert!(hmac_verify::<Sha256>(&key, &msg, &tag));
+        let mut bad = tag.clone();
+        let byte = (flip_bit / 8) % bad.len();
+        bad[byte] ^= 1 << (flip_bit % 8);
+        prop_assert!(!hmac_verify::<Sha256>(&key, &msg, &bad));
+    }
+
+    /// SHA-256 is deterministic and sensitive to any single-byte change.
+    #[test]
+    fn sha256_sensitivity(data in prop::collection::vec(any::<u8>(), 1..200), idx in 0usize..200, delta in 1u8..=255) {
+        let idx = idx % data.len();
+        let mut mutated = data.clone();
+        mutated[idx] = mutated[idx].wrapping_add(delta);
+        prop_assert_eq!(Sha256::digest(&data), Sha256::digest(&data));
+        prop_assert_ne!(Sha256::digest(&data), Sha256::digest(&mutated));
+    }
+
+    /// Uniform cells roundtrip every payload size and never leak the length
+    /// through the cell size.
+    #[test]
+    fn uniform_encoding_roundtrip(
+        key in prop::array::uniform32(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..MAX_PAYLOAD_LEN),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = UniformEncoder::new(key);
+        let cell = encoder.encode(&payload, &mut rng).unwrap();
+        prop_assert_eq!(cell.len(), crate::elligator::UNIFORM_CELL_LEN);
+        prop_assert_eq!(encoder.decode(&cell).unwrap(), payload);
+    }
+}

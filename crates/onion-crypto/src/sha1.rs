@@ -1,0 +1,194 @@
+//! SHA-1 message digest (FIPS 180-4).
+//!
+//! Tor derives hidden-service identifiers and HSDir descriptor IDs from
+//! truncated SHA-1 digests, so the simulated Tor substrate needs a faithful
+//! SHA-1. SHA-1 is *not* used here for collision resistance guarantees — it
+//! mirrors the protocol the paper describes (§III).
+//!
+//! ```
+//! use onion_crypto::sha1::Sha1;
+//! use onion_crypto::digest::Digest;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(onion_crypto::hex::encode(&digest),
+//!            "a9993e364706816aba3e25717850c26c9cd0d89d");
+//! ```
+
+use crate::digest::Digest;
+
+/// Incremental SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+    const BLOCK_LEN: usize = 64;
+
+    fn new() -> Self {
+        Sha1::new()
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process_block(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zeros until 8 bytes remain in the final block.
+        self.update(&[0x80]);
+        // The update above already counted into total_len; padding bytes must
+        // not count, so freeze the length now and pad manually.
+        while self.buffer_len != 56 {
+            let buffer_len = self.buffer_len;
+            if buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            } else {
+                self.buffer[buffer_len] = 0;
+                self.buffer_len += 1;
+            }
+        }
+        self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.process_block(&block);
+        let mut out = Vec::with_capacity(20);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn sha1_hex(data: &[u8]) -> String {
+        hex::encode(&Sha1::digest(data))
+    }
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(sha1_hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(sha1_hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha1_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(sha1_hex(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 100] {
+            let mut hasher = Sha1::new();
+            for chunk in data.chunks(chunk_size) {
+                hasher.update(chunk);
+            }
+            assert_eq!(hasher.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn output_length_is_twenty_bytes() {
+        assert_eq!(Sha1::digest(b"x").len(), 20);
+        assert_eq!(<Sha1 as Digest>::OUTPUT_LEN, 20);
+    }
+}

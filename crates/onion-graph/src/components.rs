@@ -1,0 +1,133 @@
+//! Connected-component analysis.
+//!
+//! The paper's Figures 5a/5b plot the number of connected components of DDSR
+//! versus a normal graph as nodes are deleted, and Figure 6 measures how many
+//! simultaneous deletions are needed before the graph partitions (~40% for
+//! 10-regular graphs). These helpers provide the underlying measurements.
+
+use std::collections::HashSet;
+
+use crate::graph::{Graph, NodeId};
+use crate::metrics::bfs_distances;
+
+/// Returns the connected components as sorted lists of node ids (largest
+/// component first, ties broken by smallest node id).
+pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut components = Vec::new();
+    for node in graph.nodes() {
+        if visited.contains(&node) {
+            continue;
+        }
+        let reachable = bfs_distances(graph, node);
+        let mut component: Vec<NodeId> = reachable.keys().copied().collect();
+        component.sort_unstable();
+        visited.extend(component.iter().copied());
+        components.push(component);
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.first().cmp(&b.first())));
+    components
+}
+
+/// Number of connected components (`0` for an empty graph).
+pub fn component_count(graph: &Graph) -> usize {
+    connected_components(graph).len()
+}
+
+/// Size of the largest connected component (`0` for an empty graph).
+pub fn largest_component_size(graph: &Graph) -> usize {
+    connected_components(graph)
+        .first()
+        .map_or(0, std::vec::Vec::len)
+}
+
+/// Returns `true` if the graph has at most one connected component.
+///
+/// The empty graph is considered connected (there is nothing to partition),
+/// matching how the partition-threshold experiment treats a fully deleted
+/// botnet.
+pub fn is_connected(graph: &Graph) -> bool {
+    component_count(graph) <= 1
+}
+
+/// Fraction of live nodes contained in the largest component (`1.0` for the
+/// empty graph by the same convention as [`is_connected`]).
+pub fn largest_component_fraction(graph: &Graph) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 1.0;
+    }
+    largest_component_size(graph) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_regular;
+    use crate::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_is_connected_with_zero_components() {
+        let g = Graph::new();
+        assert_eq!(component_count(&g), 0);
+        assert!(is_connected(&g));
+        assert_eq!(largest_component_size(&g), 0);
+        assert_eq!(largest_component_fraction(&g), 1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_each_form_a_component() {
+        let (g, _) = Graph::with_nodes(4);
+        assert_eq!(component_count(&g), 4);
+        assert!(!is_connected(&g));
+        assert_eq!(largest_component_size(&g), 1);
+    }
+
+    #[test]
+    fn two_triangles_are_two_components() {
+        let (mut g, ids) = Graph::with_nodes(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(ids[a], ids[b]);
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 3);
+        assert!((largest_component_fraction(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_sorted_largest_first() {
+        let (mut g, ids) = Graph::with_nodes(5);
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[3], ids[4]);
+        let comps = connected_components(&g);
+        assert_eq!(comps[0], vec![ids[0], ids[1], ids[2]]);
+        assert_eq!(comps[1], vec![ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn random_regular_graph_is_connected() {
+        // A random 10-regular graph on 500 nodes is connected with
+        // overwhelming probability.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = random_regular(500, 10, &mut rng);
+        assert!(is_connected(&g));
+        assert_eq!(largest_component_size(&g), 500);
+    }
+
+    #[test]
+    fn removing_a_cut_vertex_partitions() {
+        // Barbell: two triangles joined through a single bridge node.
+        let (mut g, ids) = Graph::with_nodes(7);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (2, 3), (3, 4)] {
+            g.add_edge(ids[a], ids[b]);
+        }
+        assert!(is_connected(&g));
+        g.remove_node(ids[3]);
+        assert_eq!(component_count(&g), 2);
+    }
+}

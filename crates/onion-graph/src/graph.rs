@@ -1,0 +1,310 @@
+//! Undirected graph data structure used by the overlay simulations.
+//!
+//! Nodes are identified by [`NodeId`]s handed out by the graph; deletions are
+//! supported (the whole evaluation of the paper is about node takedowns), so
+//! the structure is a hash-based adjacency map rather than a dense matrix.
+//!
+//! ```
+//! use onion_graph::graph::Graph;
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_node();
+//! let b = g.add_node();
+//! g.add_edge(a, b);
+//! assert_eq!(g.degree(a), Some(1));
+//! g.remove_node(a);
+//! assert_eq!(g.degree(b), Some(0));
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside a [`Graph`].
+///
+/// Identifiers are never reused within one graph, so a `NodeId` remains a
+/// valid "name" for a deleted node (useful when replaying takedown traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An undirected simple graph (no self loops, no parallel edges).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: HashMap<NodeId, BTreeSet<NodeId>>,
+    next_id: usize,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with `n` fresh nodes, returning their ids.
+    pub fn with_nodes(n: usize) -> (Self, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids = (0..n).map(|_| g.add_node()).collect();
+        (g, ids)
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.adjacency.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Returns `true` if `node` is present (i.e. not deleted).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.adjacency.contains_key(&node)
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over the live node ids in ascending order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.adjacency.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Adds an undirected edge. Returns `true` if the edge was newly added,
+    /// `false` if it already existed or was a self loop / referenced a missing
+    /// node.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || !self.contains(a) || !self.contains(b) {
+            return false;
+        }
+        let inserted = self
+            .adjacency
+            .get_mut(&a)
+            .expect("checked present")
+            .insert(b);
+        if inserted {
+            self.adjacency
+                .get_mut(&b)
+                .expect("checked present")
+                .insert(a);
+            self.edge_count += 1;
+        }
+        inserted
+    }
+
+    /// Removes an undirected edge. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let removed = self
+            .adjacency
+            .get_mut(&a)
+            .map_or(false, |set| set.remove(&b));
+        if removed {
+            if let Some(set) = self.adjacency.get_mut(&b) {
+                set.remove(&a);
+            }
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the edge `(a, b)` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency.get(&a).map_or(false, |set| set.contains(&b))
+    }
+
+    /// The neighbors of `node`, or `None` if the node is absent.
+    pub fn neighbors(&self, node: NodeId) -> Option<&BTreeSet<NodeId>> {
+        self.adjacency.get(&node)
+    }
+
+    /// The degree of `node`, or `None` if the node is absent.
+    pub fn degree(&self, node: NodeId) -> Option<usize> {
+        self.adjacency.get(&node).map(BTreeSet::len)
+    }
+
+    /// Removes a node and all incident edges, returning its former neighbors.
+    ///
+    /// Returns `None` if the node was not present.
+    pub fn remove_node(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
+        let neighbors = self.adjacency.remove(&node)?;
+        for n in &neighbors {
+            if let Some(set) = self.adjacency.get_mut(n) {
+                set.remove(&node);
+            }
+        }
+        self.edge_count -= neighbors.len();
+        Some(neighbors.into_iter().collect())
+    }
+
+    /// Maximum degree over live nodes (`0` for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over live nodes (`0` for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adjacency.values().map(BTreeSet::len).min().unwrap_or(0)
+    }
+
+    /// Average degree over live nodes (`0.0` for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count as f64 / self.adjacency.len() as f64
+    }
+
+    /// Lists all edges as `(smaller id, larger id)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for (&a, neighbors) in &self.adjacency {
+            for &b in neighbors {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Checks internal invariants (symmetry, no self loops, edge count).
+    /// Intended for tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for (&a, neighbors) in &self.adjacency {
+            for &b in neighbors {
+                if a == b {
+                    return Err(format!("self loop at {a}"));
+                }
+                if !self
+                    .adjacency
+                    .get(&b)
+                    .map_or(false, |set| set.contains(&a))
+                {
+                    return Err(format!("asymmetric edge {a} -> {b}"));
+                }
+                counted += 1;
+            }
+        }
+        if counted != self.edge_count * 2 {
+            return Err(format!(
+                "edge count mismatch: counted {} half-edges, recorded {} edges",
+                counted, self.edge_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_nodes() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.contains(a));
+        assert!(g.contains(b));
+        assert_eq!(g.degree(a), Some(0));
+        assert_eq!(g.nodes(), vec![a, b]);
+    }
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let (mut g, ids) = Graph::with_nodes(3);
+        assert!(g.add_edge(ids[0], ids[1]));
+        assert!(!g.add_edge(ids[1], ids[0]), "duplicate edge must be rejected");
+        assert!(g.has_edge(ids[1], ids[0]));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.add_edge(ids[0], ids[0]), "self loops rejected");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn edge_to_missing_node_is_rejected() {
+        let (mut g, ids) = Graph::with_nodes(2);
+        g.remove_node(ids[1]);
+        assert!(!g.add_edge(ids[0], ids[1]));
+        assert!(!g.add_edge(ids[1], ids[0]));
+    }
+
+    #[test]
+    fn remove_node_returns_neighbors_and_cleans_edges() {
+        let (mut g, ids) = Graph::with_nodes(4);
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[0], ids[2]);
+        g.add_edge(ids[1], ids[2]);
+        let neighbors = g.remove_node(ids[0]).unwrap();
+        assert_eq!(neighbors, vec![ids[1], ids[2]]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(ids[1], ids[0]));
+        assert_eq!(g.remove_node(ids[0]), None, "double removal returns None");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_behaviour() {
+        let (mut g, ids) = Graph::with_nodes(2);
+        g.add_edge(ids[0], ids[1]);
+        assert!(g.remove_edge(ids[1], ids[0]));
+        assert!(!g.remove_edge(ids[0], ids[1]));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn node_ids_are_never_reused() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.remove_node(a);
+        let b = g.add_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let (mut g, ids) = Graph::with_nodes(4);
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[0], ids[2]);
+        g.add_edge(ids[0], ids[3]);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_listing_is_sorted_and_complete() {
+        let (mut g, ids) = Graph::with_nodes(3);
+        g.add_edge(ids[2], ids[0]);
+        g.add_edge(ids[1], ids[2]);
+        assert_eq!(g.edges(), vec![(ids[0], ids[2]), (ids[1], ids[2])]);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = Graph::new();
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert!(g.edges().is_empty());
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! # onion-graph
+//!
+//! Graph substrate for the OnionBots (DSN 2015) reproduction: the undirected
+//! [`graph::Graph`] structure the overlay simulations mutate, the k-regular
+//! [`generators`] the paper's evaluation starts from, the centrality and
+//! diameter [`metrics`] it reports, and the connected-component analysis
+//! ([`components`]) behind the partitioning experiments.
+//!
+//! ```
+//! use onion_graph::generators::random_regular;
+//! use onion_graph::metrics::average_degree_centrality;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (graph, _ids) = random_regular(100, 10, &mut rng);
+//! let centrality = average_degree_centrality(&graph);
+//! assert!((centrality - 10.0 / 99.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod components;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+
+pub use graph::{Graph, NodeId};
+
+#[cfg(test)]
+mod property_tests {
+    //! Property-based tests of the core graph invariants.
+
+    use crate::components::{component_count, largest_component_size};
+    use crate::generators::random_regular;
+    use crate::graph::Graph;
+    use crate::metrics::{average_degree_centrality, bfs_distances, diameter};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Randomly interleaved edge insertions/removals never violate the
+        /// graph's structural invariants.
+        #[test]
+        fn random_mutations_preserve_invariants(ops in prop::collection::vec((0usize..20, 0usize..20, prop::bool::ANY), 1..200)) {
+            let (mut g, ids) = Graph::with_nodes(20);
+            for (a, b, add) in ops {
+                if add {
+                    g.add_edge(ids[a], ids[b]);
+                } else {
+                    g.remove_edge(ids[a], ids[b]);
+                }
+                prop_assert!(g.check_invariants().is_ok());
+            }
+        }
+
+        /// Deleting nodes never increases the number of edges and keeps
+        /// invariants intact.
+        #[test]
+        fn node_deletions_preserve_invariants(seed in 0u64..1000, deletions in 1usize..30) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut g, ids) = random_regular(40, 4, &mut rng);
+            let mut prev_edges = g.edge_count();
+            for id in ids.iter().take(deletions) {
+                g.remove_node(*id);
+                prop_assert!(g.edge_count() <= prev_edges);
+                prev_edges = g.edge_count();
+                prop_assert!(g.check_invariants().is_ok());
+            }
+        }
+
+        /// BFS distances satisfy the triangle property along edges: adjacent
+        /// nodes' distances from any source differ by at most 1.
+        #[test]
+        fn bfs_distance_is_lipschitz_along_edges(seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, ids) = random_regular(30, 4, &mut rng);
+            let dist = bfs_distances(&g, ids[0]);
+            for (a, b) in g.edges() {
+                let da = dist.get(&a).copied();
+                let db = dist.get(&b).copied();
+                if let (Some(da), Some(db)) = (da, db) {
+                    prop_assert!(da.abs_diff(db) <= 1);
+                }
+            }
+        }
+
+        /// Degree centrality of a k-regular graph is exactly k/(n-1) and the
+        /// diameter of a connected instance is sane.
+        #[test]
+        fn regular_graph_metrics_are_consistent(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 40usize;
+            let k = 6usize;
+            let (g, _) = random_regular(n, k, &mut rng);
+            prop_assert!((average_degree_centrality(&g) - k as f64 / (n - 1) as f64).abs() < 1e-12);
+            if component_count(&g) == 1 {
+                let d = diameter(&g).unwrap();
+                prop_assert!(d >= 2);
+                prop_assert!(d < n);
+            }
+            prop_assert!(largest_component_size(&g) <= n);
+        }
+    }
+}

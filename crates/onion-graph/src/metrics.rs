@@ -1,0 +1,310 @@
+//! Graph metrics used in the paper's evaluation (§V-B).
+//!
+//! * **Closeness centrality** `C(u) = (n - 1) / Σ_v d(u, v)` — "an indication
+//!   of how fast messages can propagate in the network".
+//! * **Degree centrality** — the fraction of nodes a node is connected to,
+//!   "an indication of immediate chance of receiving whatever is flowing
+//!   through the network".
+//! * **Diameter** — the longest shortest path, "a lower bound on worst case
+//!   delay".
+//!
+//! Exact metrics run an all-pairs BFS (`O(n·(n+m))`), which is fine up to a
+//! few thousand nodes. For the paper's 15000-node runs the `sampled_*`
+//! variants estimate the same quantities from a random subset of BFS sources;
+//! the figure harness uses them with a few hundred sources, which keeps the
+//! curve shapes intact.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+
+/// Breadth-first search distances from `source` to every reachable node
+/// (including `source` itself at distance 0).
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> HashMap<NodeId, usize> {
+    let mut dist = HashMap::new();
+    if !graph.contains(source) {
+        return dist;
+    }
+    dist.insert(source, 0usize);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        if let Some(neighbors) = graph.neighbors(u) {
+            for &v in neighbors {
+                if !dist.contains_key(&v) {
+                    dist.insert(v, d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Closeness centrality of a single node, normalized by `n - 1` over the
+/// whole graph (matching the paper's formula). Unreachable nodes contribute
+/// nothing: the sum only ranges over the node's connected component, scaled
+/// by the fraction of the graph that is reachable (the standard
+/// Wasserman–Faust correction), so values remain comparable when the graph
+/// partitions.
+pub fn closeness_centrality(graph: &Graph, node: NodeId) -> f64 {
+    let n = graph.node_count();
+    if n <= 1 || !graph.contains(node) {
+        return 0.0;
+    }
+    let dist = bfs_distances(graph, node);
+    let reachable = dist.len() - 1; // excluding the node itself
+    if reachable == 0 {
+        return 0.0;
+    }
+    let total: usize = dist.values().sum();
+    // (reachable / (n-1)) * (reachable / total): closeness within the
+    // component scaled by component coverage.
+    (reachable as f64 / (n - 1) as f64) * (reachable as f64 / total as f64)
+}
+
+/// Average closeness centrality over all nodes (exact, all-pairs BFS).
+pub fn average_closeness_centrality(graph: &Graph) -> f64 {
+    let nodes = graph.nodes();
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = nodes.iter().map(|&u| closeness_centrality(graph, u)).sum();
+    sum / nodes.len() as f64
+}
+
+/// Average closeness centrality estimated from `samples` random BFS sources.
+pub fn sampled_average_closeness_centrality<R: Rng + ?Sized>(
+    graph: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut nodes = graph.nodes();
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    nodes.shuffle(rng);
+    nodes.truncate(samples.max(1).min(nodes.len()));
+    let sum: f64 = nodes.iter().map(|&u| closeness_centrality(graph, u)).sum();
+    sum / nodes.len() as f64
+}
+
+/// Degree centrality of a node: `deg(u) / (n - 1)`.
+pub fn degree_centrality(graph: &Graph, node: NodeId) -> f64 {
+    let n = graph.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    graph.degree(node).unwrap_or(0) as f64 / (n - 1) as f64
+}
+
+/// Average degree centrality over all nodes.
+pub fn average_degree_centrality(graph: &Graph) -> f64 {
+    let nodes = graph.nodes();
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = nodes.iter().map(|&u| degree_centrality(graph, u)).sum();
+    sum / nodes.len() as f64
+}
+
+/// Eccentricity of a node: the greatest BFS distance to any reachable node.
+/// Returns `None` for nodes absent from the graph.
+pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
+    if !graph.contains(node) {
+        return None;
+    }
+    Some(bfs_distances(graph, node).values().copied().max().unwrap_or(0))
+}
+
+/// Exact diameter of the largest connected component (all-pairs BFS).
+///
+/// Returns `None` for an empty graph. When the graph is partitioned the
+/// diameter of the *largest* component is reported, mirroring how the paper
+/// plots a finite diameter for DDSR while a shattered normal graph's
+/// diameter "is infinite".
+pub fn diameter(graph: &Graph) -> Option<usize> {
+    let nodes = graph.nodes();
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for &u in &nodes {
+        if let Some(ecc) = eccentricity(graph, u) {
+            best = best.max(ecc);
+        }
+    }
+    Some(best)
+}
+
+/// Diameter lower bound estimated from `samples` random BFS sources.
+pub fn sampled_diameter<R: Rng + ?Sized>(graph: &Graph, samples: usize, rng: &mut R) -> Option<usize> {
+    let mut nodes = graph.nodes();
+    if nodes.is_empty() {
+        return None;
+    }
+    nodes.shuffle(rng);
+    nodes.truncate(samples.max(1).min(nodes.len()));
+    let mut best = 0usize;
+    for &u in &nodes {
+        if let Some(ecc) = eccentricity(graph, u) {
+            best = best.max(ecc);
+        }
+    }
+    Some(best)
+}
+
+/// Average shortest path length within connected pairs (exact).
+/// Returns `None` when there are no connected pairs.
+pub fn average_path_length(graph: &Graph) -> Option<f64> {
+    let nodes = graph.nodes();
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for &u in &nodes {
+        let dist = bfs_distances(graph, u);
+        for (&v, &d) in &dist {
+            if v != u {
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_regular, ring_lattice};
+    use crate::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a path graph a-b-c-d and returns (graph, ids).
+    fn path_graph(n: usize) -> (Graph, Vec<NodeId>) {
+        let (mut g, ids) = Graph::with_nodes(n);
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let (g, ids) = path_graph(5);
+        let dist = bfs_distances(&g, ids[0]);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dist[id], i);
+        }
+    }
+
+    #[test]
+    fn bfs_from_missing_node_is_empty() {
+        let (mut g, ids) = path_graph(3);
+        g.remove_node(ids[0]);
+        assert!(bfs_distances(&g, ids[0]).is_empty());
+    }
+
+    #[test]
+    fn closeness_on_star_graph() {
+        // Star with center c and 4 leaves: C(center) = 1.0, C(leaf) = 4/7.
+        let (mut g, ids) = Graph::with_nodes(5);
+        for &leaf in &ids[1..] {
+            g.add_edge(ids[0], leaf);
+        }
+        assert!((closeness_centrality(&g, ids[0]) - 1.0).abs() < 1e-12);
+        assert!((closeness_centrality(&g, ids[1]) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_of_isolated_node_is_zero() {
+        let (mut g, ids) = path_graph(3);
+        let isolated = g.add_node();
+        assert_eq!(closeness_centrality(&g, isolated), 0.0);
+        // Other nodes lose closeness because of the unreachable node.
+        assert!(closeness_centrality(&g, ids[1]) < 1.0);
+    }
+
+    #[test]
+    fn degree_centrality_on_complete_graph() {
+        let (mut g, ids) = Graph::with_nodes(6);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+        for &u in &ids {
+            assert!((degree_centrality(&g, u) - 1.0).abs() < 1e-12);
+        }
+        assert!((average_degree_centrality(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_centrality_in_k_regular_graph_is_k_over_n_minus_1() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = random_regular(100, 10, &mut rng);
+        let expected = 10.0 / 99.0;
+        assert!((average_degree_centrality(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_path_and_ring() {
+        let (g, _) = path_graph(6);
+        assert_eq!(diameter(&g), Some(5));
+        let (ring, _) = ring_lattice(10, 2);
+        assert_eq!(diameter(&ring), Some(5));
+    }
+
+    #[test]
+    fn diameter_of_empty_and_singleton() {
+        assert_eq!(diameter(&Graph::new()), None);
+        let (g, _) = Graph::with_nodes(1);
+        assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn sampled_metrics_match_exact_when_fully_sampled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, _) = random_regular(60, 4, &mut rng);
+        let exact = average_closeness_centrality(&g);
+        let sampled = sampled_average_closeness_centrality(&g, 60, &mut rng);
+        assert!((exact - sampled).abs() < 1e-9);
+        assert_eq!(diameter(&g), sampled_diameter(&g, 60, &mut rng));
+    }
+
+    #[test]
+    fn sampled_metrics_are_reasonable_estimates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = random_regular(300, 8, &mut rng);
+        let exact = average_closeness_centrality(&g);
+        let sampled = sampled_average_closeness_centrality(&g, 60, &mut rng);
+        assert!((exact - sampled).abs() < 0.05, "exact {exact}, sampled {sampled}");
+    }
+
+    #[test]
+    fn average_path_length_on_path_graph() {
+        let (g, _) = path_graph(3);
+        // Distances: (0-1)=1, (0-2)=2, (1-2)=1 → mean = 4/3.
+        let apl = average_path_length(&g).unwrap();
+        assert!((apl - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_path_length(&Graph::new()), None);
+    }
+
+    #[test]
+    fn eccentricity_matches_diameter_extremes() {
+        let (g, ids) = path_graph(4);
+        assert_eq!(eccentricity(&g, ids[0]), Some(3));
+        assert_eq!(eccentricity(&g, ids[1]), Some(2));
+        let (mut g2, ids2) = path_graph(2);
+        g2.remove_node(ids2[0]);
+        assert_eq!(eccentricity(&g2, ids2[0]), None);
+    }
+}

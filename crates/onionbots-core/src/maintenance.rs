@@ -1,0 +1,176 @@
+//! Peering / maintenance protocol primitives.
+//!
+//! The overlay's self-healing behaviour is driven by small maintenance
+//! messages exchanged between peers: peering requests (with a declared
+//! degree), address announcements after rotation, and keep-alives. The
+//! acceptance policy implemented here is the one the paper describes and the
+//! one SOAP (§VI-B) exploits: a node prefers low-degree peers, and when it is
+//! already full it replaces its highest-degree peer with a lower-degree
+//! requester.
+
+use onion_graph::graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use tor_sim::onion::OnionAddress;
+
+/// Maintenance messages exchanged between overlay peers.
+///
+/// On the wire every variant is serialized and wrapped in a fixed-size
+/// uniform cell, so observers cannot distinguish a peering request from a
+/// keep-alive or an attack command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaintenanceMessage {
+    /// Ask to become a peer, declaring the sender's (claimed) degree.
+    PeeringRequest {
+        /// The requester's current onion address.
+        from: OnionAddress,
+        /// The degree the requester claims to have (unverifiable).
+        declared_degree: usize,
+    },
+    /// Positive answer to a peering request.
+    PeeringAccept {
+        /// The acceptor's onion address.
+        from: OnionAddress,
+    },
+    /// Negative answer to a peering request.
+    PeeringReject {
+        /// The rejecting node's onion address.
+        from: OnionAddress,
+    },
+    /// Announce a rotated onion address to current peers (the "forgetting"
+    /// mechanism's counterpart: peers must learn the new address before the
+    /// old one disappears).
+    AddressAnnounce {
+        /// The address being replaced.
+        old: OnionAddress,
+        /// The address valid for the next period.
+        new: OnionAddress,
+        /// Period index the new address belongs to.
+        period: u64,
+    },
+    /// Liveness probe.
+    KeepAlive {
+        /// Sender address.
+        from: OnionAddress,
+    },
+}
+
+/// Outcome of evaluating a peering request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeeringDecision {
+    /// Accept the new peer outright (the node is below `d_max`).
+    Accept,
+    /// Accept the new peer and drop this existing peer to make room.
+    Replace(NodeId),
+    /// Reject the request.
+    Reject,
+}
+
+/// Decides how a node with the given peers responds to a peering request.
+///
+/// * Below `d_max`: accept.
+/// * At or above `d_max`: if the requester's declared degree is strictly
+///   lower than the highest degree among current peers, replace that peer
+///   (ties broken at random); otherwise reject.
+pub fn decide_peering<R: Rng + ?Sized>(
+    current_peers: &[(NodeId, usize)],
+    declared_degree: usize,
+    d_max: usize,
+    rng: &mut R,
+) -> PeeringDecision {
+    if current_peers.len() < d_max {
+        return PeeringDecision::Accept;
+    }
+    let Some(&max_degree) = current_peers.iter().map(|(_, d)| d).max() else {
+        return PeeringDecision::Accept;
+    };
+    if declared_degree < max_degree {
+        let candidates: Vec<NodeId> = current_peers
+            .iter()
+            .filter(|(_, d)| *d == max_degree)
+            .map(|(id, _)| *id)
+            .collect();
+        match candidates.choose(rng) {
+            Some(&victim) => PeeringDecision::Replace(victim),
+            None => PeeringDecision::Reject,
+        }
+    } else {
+        PeeringDecision::Reject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn peers(degrees: &[usize]) -> Vec<(NodeId, usize)> {
+        degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (NodeId(i), d))
+            .collect()
+    }
+
+    #[test]
+    fn below_capacity_always_accepts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let decision = decide_peering(&peers(&[5, 5]), 100, 5, &mut rng);
+        assert_eq!(decision, PeeringDecision::Accept);
+    }
+
+    #[test]
+    fn at_capacity_low_degree_requester_displaces_highest_peer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let decision = decide_peering(&peers(&[4, 9, 6]), 2, 3, &mut rng);
+        assert_eq!(decision, PeeringDecision::Replace(NodeId(1)));
+    }
+
+    #[test]
+    fn at_capacity_high_degree_requester_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let decision = decide_peering(&peers(&[4, 9, 6]), 9, 3, &mut rng);
+        assert_eq!(decision, PeeringDecision::Reject);
+        let decision2 = decide_peering(&peers(&[4, 9, 6]), 20, 3, &mut rng);
+        assert_eq!(decision2, PeeringDecision::Reject);
+    }
+
+    #[test]
+    fn ties_are_broken_among_highest_degree_peers_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            match decide_peering(&peers(&[7, 3, 7]), 1, 3, &mut rng) {
+                PeeringDecision::Replace(victim) => {
+                    assert!(victim == NodeId(0) || victim == NodeId(2));
+                }
+                other => panic!("expected replacement, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_peer_list_accepts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(decide_peering(&[], 50, 0, &mut rng), PeeringDecision::Accept);
+    }
+
+    #[test]
+    fn maintenance_messages_serialize() {
+        let msg = MaintenanceMessage::PeeringRequest {
+            from: OnionAddress::from_identifier([1u8; 10]),
+            declared_degree: 2,
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: MaintenanceMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+        let rotate = MaintenanceMessage::AddressAnnounce {
+            old: OnionAddress::from_identifier([1u8; 10]),
+            new: OnionAddress::from_identifier([2u8; 10]),
+            period: 9,
+        };
+        assert_ne!(serde_json::to_string(&rotate).unwrap(), json);
+    }
+}

@@ -1,0 +1,411 @@
+//! The Dynamic Distributed Self-Repairing (DDSR) overlay — the paper's
+//! primary contribution (§IV-C).
+//!
+//! The overlay is a peer-to-peer graph in which every node knows its
+//! neighbors *and its neighbors' neighbors* (NoN). Three mechanisms keep it
+//! low-degree, low-diameter and partition-resistant under takedowns:
+//!
+//! * **Repairing** — when node `u` is deleted, every pair of its neighbors
+//!   `(u_j, u_k)` forms an edge if one does not already exist. Because each
+//!   neighbor already knows `u`'s other neighbors (NoN knowledge), this needs
+//!   no lookup or coordinator.
+//! * **Pruning** — repairs increase degrees, so each former neighbor of the
+//!   deleted node drops its highest-degree peers (random tie-break) until its
+//!   degree is back inside `[d_min, d_max]`.
+//! * **Forgetting** — pruned peers' addresses are forgotten, and nodes
+//!   periodically rotate their `.onion` addresses (see [`crate::rotation`]).
+
+use std::collections::BTreeSet;
+
+use onion_graph::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DdsrConfig;
+
+/// Counters describing the maintenance work the overlay has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairStats {
+    /// Nodes removed with the self-repair protocol active.
+    pub nodes_repaired: u64,
+    /// Nodes removed without repair (baseline comparisons).
+    pub nodes_removed_without_repair: u64,
+    /// Edges added by the repair step.
+    pub edges_added: u64,
+    /// Edges removed by the pruning step.
+    pub edges_pruned: u64,
+}
+
+/// The DDSR overlay: a ground-truth adjacency graph plus the maintenance
+/// protocol that reacts to node removals.
+#[derive(Debug, Clone)]
+pub struct DdsrOverlay {
+    graph: Graph,
+    config: DdsrConfig,
+    stats: RepairStats,
+}
+
+impl DdsrOverlay {
+    /// Wraps an existing graph in the DDSR maintenance protocol.
+    pub fn from_graph(graph: Graph, config: DdsrConfig) -> Self {
+        DdsrOverlay {
+            graph,
+            config,
+            stats: RepairStats::default(),
+        }
+    }
+
+    /// Builds a fresh overlay as a random `k`-regular graph on `n` nodes —
+    /// the starting point of every experiment in §V.
+    pub fn new_regular<R: Rng + ?Sized>(n: usize, k: usize, config: DdsrConfig, rng: &mut R) -> (Self, Vec<NodeId>) {
+        let (graph, ids) = onion_graph::generators::random_regular(n, k, rng);
+        (Self::from_graph(graph, config), ids)
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> DdsrConfig {
+        self.config
+    }
+
+    /// Read access to the underlying graph (for metrics).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Maintenance counters accumulated so far.
+    pub fn stats(&self) -> RepairStats {
+        self.stats
+    }
+
+    /// The peer list of a node (its one-hop neighbors), if it is alive.
+    pub fn peers(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.graph
+            .neighbors(node)
+            .map(|set| set.iter().copied().collect())
+    }
+
+    /// The Neighbors-of-Neighbor view of a node: every peer of its peers,
+    /// excluding the node itself. This is exactly the knowledge the repair
+    /// step relies on.
+    pub fn neighbors_of_neighbors(&self, node: NodeId) -> Option<BTreeSet<NodeId>> {
+        let peers = self.graph.neighbors(node)?;
+        let mut non = BTreeSet::new();
+        for &p in peers {
+            if let Some(pp) = self.graph.neighbors(p) {
+                for &q in pp {
+                    if q != node {
+                        non.insert(q);
+                    }
+                }
+            }
+        }
+        Some(non)
+    }
+
+    /// Removes a node *with* the self-healing protocol: repair then
+    /// (optionally) prune. Returns `false` if the node was already gone.
+    pub fn remove_node_with_repair<R: Rng + ?Sized>(&mut self, node: NodeId, rng: &mut R) -> bool {
+        let Some(former_neighbors) = self.graph.remove_node(node) else {
+            return false;
+        };
+        self.stats.nodes_repaired += 1;
+
+        // Repairing: every pair of former neighbors peers up unless the edge
+        // already exists. Each of them knew the others through NoN knowledge.
+        for i in 0..former_neighbors.len() {
+            for j in i + 1..former_neighbors.len() {
+                if self.graph.add_edge(former_neighbors[i], former_neighbors[j]) {
+                    self.stats.edges_added += 1;
+                }
+            }
+        }
+
+        // Pruning: each former neighbor sheds highest-degree peers until it
+        // is back within [d_min, d_max].
+        if self.config.pruning {
+            for &u in &former_neighbors {
+                self.prune_node(u, rng);
+            }
+        }
+        true
+    }
+
+    /// Removes a node *without* any repair — the "normal graph" baseline the
+    /// paper compares against in Figure 5.
+    pub fn remove_node_without_repair(&mut self, node: NodeId) -> bool {
+        let removed = self.graph.remove_node(node).is_some();
+        if removed {
+            self.stats.nodes_removed_without_repair += 1;
+        }
+        removed
+    }
+
+    /// Applies the pruning rule to one node: while its degree exceeds
+    /// `d_max`, drop the neighbor with the highest degree (ties broken at
+    /// random), provided that neighbor would not be pushed below `d_min`
+    /// while alternatives exist.
+    fn prune_node<R: Rng + ?Sized>(&mut self, node: NodeId, rng: &mut R) {
+        loop {
+            let Some(deg) = self.graph.degree(node) else {
+                return;
+            };
+            if deg <= self.config.d_max {
+                return;
+            }
+            let neighbors: Vec<NodeId> = match self.graph.neighbors(node) {
+                Some(set) => set.iter().copied().collect(),
+                None => return,
+            };
+            let max_degree = neighbors
+                .iter()
+                .filter_map(|&n| self.graph.degree(n))
+                .max()
+                .unwrap_or(0);
+            let candidates: Vec<NodeId> = neighbors
+                .iter()
+                .copied()
+                .filter(|&n| self.graph.degree(n) == Some(max_degree))
+                .collect();
+            let victim = match candidates.choose(rng) {
+                Some(&v) => v,
+                None => return,
+            };
+            // Removing the highest-degree peer "maintains the reachability of
+            // all nodes": that peer has the most alternative paths.
+            self.graph.remove_edge(node, victim);
+            self.stats.edges_pruned += 1;
+        }
+    }
+
+    /// Picks a live node uniformly at random, if any.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        let nodes = self.graph.nodes();
+        nodes.choose(rng).copied()
+    }
+
+    /// Adds a brand-new node with no peers. Callers peer it explicitly via
+    /// [`Self::request_peering`]; the SOAP mitigation uses this to spawn
+    /// clone hidden services.
+    pub fn add_isolated_node(&mut self) -> NodeId {
+        self.graph.add_node()
+    }
+
+    /// Adds a brand-new node and peers it with up to `d_max` random live
+    /// nodes (bootstrap of a newly infected bot into the overlay).
+    pub fn add_node<R: Rng + ?Sized>(&mut self, rng: &mut R) -> NodeId {
+        let new = self.graph.add_node();
+        let mut candidates = self.graph.nodes();
+        candidates.retain(|&n| n != new);
+        candidates.shuffle(rng);
+        for peer in candidates.into_iter().take(self.config.d_max.min(self.config.d_min.max(1))) {
+            self.graph.add_edge(new, peer);
+        }
+        new
+    }
+
+    /// Handles an explicit peering request from `requester` to `target`
+    /// using the acceptance policy from [`crate::maintenance`]. Returns
+    /// `true` if the edge now exists.
+    pub fn request_peering<R: Rng + ?Sized>(
+        &mut self,
+        requester: NodeId,
+        target: NodeId,
+        declared_degree: usize,
+        rng: &mut R,
+    ) -> bool {
+        use crate::maintenance::{decide_peering, PeeringDecision};
+        if !self.graph.contains(requester) || !self.graph.contains(target) || requester == target {
+            return false;
+        }
+        if self.graph.has_edge(requester, target) {
+            return true;
+        }
+        let peer_degrees: Vec<(NodeId, usize)> = self
+            .graph
+            .neighbors(target)
+            .map(|set| {
+                set.iter()
+                    .map(|&p| (p, self.graph.degree(p).unwrap_or(0)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        match decide_peering(&peer_degrees, declared_degree, self.config.d_max, rng) {
+            PeeringDecision::Accept => self.graph.add_edge(requester, target),
+            PeeringDecision::Replace(victim) => {
+                self.graph.remove_edge(target, victim);
+                self.stats.edges_pruned += 1;
+                self.graph.add_edge(requester, target)
+            }
+            PeeringDecision::Reject => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_graph::components::is_connected;
+    use onion_graph::metrics::average_degree_centrality;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn overlay(n: usize, k: usize, pruning: bool, seed: u64) -> (DdsrOverlay, Vec<NodeId>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = if pruning {
+            DdsrConfig::for_degree(k)
+        } else {
+            DdsrConfig::without_pruning(k)
+        };
+        let (ov, ids) = DdsrOverlay::new_regular(n, k, config, &mut rng);
+        (ov, ids, rng)
+    }
+
+    #[test]
+    fn paper_figure3_example_three_regular_graph() {
+        // Figure 3: deleting node 7 from a 3-regular 12-node graph makes its
+        // neighbors (0, 1, 4) pairwise connected.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut g, ids) = onion_graph::graph::Graph::with_nodes(12);
+        // Build a 3-regular circulant graph: i ~ i±1, i ~ i+6.
+        for i in 0..12usize {
+            g.add_edge(ids[i], ids[(i + 1) % 12]);
+            g.add_edge(ids[i], ids[(i + 6) % 12]);
+        }
+        let mut overlay = DdsrOverlay::from_graph(g, DdsrConfig::without_pruning(3));
+        let victim = ids[7];
+        let neighbors = overlay.peers(victim).unwrap();
+        assert_eq!(neighbors.len(), 3);
+        overlay.remove_node_with_repair(victim, &mut rng);
+        for i in 0..neighbors.len() {
+            for j in i + 1..neighbors.len() {
+                assert!(
+                    overlay.graph().has_edge(neighbors[i], neighbors[j]),
+                    "former neighbors must be pairwise connected after repair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_keeps_overlay_connected_under_heavy_deletion() {
+        let (mut ov, ids, mut rng) = overlay(300, 10, true, 2);
+        // Delete 60% of nodes one by one (gradual takedown).
+        for &id in ids.iter().take(180) {
+            ov.remove_node_with_repair(id, &mut rng);
+            ov.graph().check_invariants().unwrap();
+        }
+        assert_eq!(ov.node_count(), 120);
+        assert!(is_connected(ov.graph()), "DDSR must stay connected");
+    }
+
+    #[test]
+    fn no_repair_baseline_fragments_much_earlier() {
+        let (mut ddsr, ids, mut rng) = overlay(300, 10, true, 3);
+        let (mut normal, ids_n, _) = overlay(300, 10, true, 3);
+        for (&a, &b) in ids.iter().zip(ids_n.iter()).take(240) {
+            ddsr.remove_node_with_repair(a, &mut rng);
+            normal.remove_node_without_repair(b);
+        }
+        let ddsr_components = onion_graph::components::component_count(ddsr.graph());
+        let normal_components = onion_graph::components::component_count(normal.graph());
+        assert_eq!(ddsr_components, 1);
+        assert!(
+            normal_components > ddsr_components,
+            "normal graph should fragment (got {normal_components})"
+        );
+    }
+
+    #[test]
+    fn pruning_bounds_degree_growth() {
+        let (mut with, ids_w, mut rng_w) = overlay(400, 10, true, 4);
+        let (mut without, ids_wo, mut rng_wo) = overlay(400, 10, false, 4);
+        for (&a, &b) in ids_w.iter().zip(ids_wo.iter()).take(120) {
+            with.remove_node_with_repair(a, &mut rng_w);
+            without.remove_node_with_repair(b, &mut rng_wo);
+        }
+        assert!(
+            with.graph().max_degree() <= with.config().d_max,
+            "pruned overlay must respect d_max (got {})",
+            with.graph().max_degree()
+        );
+        assert!(
+            without.graph().max_degree() > with.graph().max_degree(),
+            "unpruned overlay should grow larger degrees"
+        );
+        // Degree centrality comparison mirrors Figures 4c/4d.
+        assert!(average_degree_centrality(without.graph()) > average_degree_centrality(with.graph()));
+    }
+
+    #[test]
+    fn neighbors_of_neighbors_knowledge() {
+        let (mut g, ids) = onion_graph::graph::Graph::with_nodes(5);
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[2], ids[3]);
+        let overlay = DdsrOverlay::from_graph(g, DdsrConfig::default());
+        let non = overlay.neighbors_of_neighbors(ids[0]).unwrap();
+        assert!(non.contains(&ids[2]));
+        assert!(!non.contains(&ids[0]));
+        assert!(!non.contains(&ids[3]), "three hops away is beyond NoN knowledge");
+        assert!(overlay.neighbors_of_neighbors(NodeId(999)).is_none());
+    }
+
+    #[test]
+    fn removing_unknown_node_is_a_noop() {
+        let (mut ov, _, mut rng) = overlay(20, 4, true, 5);
+        assert!(!ov.remove_node_with_repair(NodeId(10_000), &mut rng));
+        assert!(!ov.remove_node_without_repair(NodeId(10_000)));
+        assert_eq!(ov.stats().nodes_repaired, 0);
+    }
+
+    #[test]
+    fn stats_account_for_maintenance_work() {
+        let (mut ov, ids, mut rng) = overlay(100, 10, true, 6);
+        for &id in ids.iter().take(30) {
+            ov.remove_node_with_repair(id, &mut rng);
+        }
+        let stats = ov.stats();
+        assert_eq!(stats.nodes_repaired, 30);
+        assert!(stats.edges_added > 0);
+        assert!(stats.edges_pruned > 0);
+    }
+
+    #[test]
+    fn add_node_bootstraps_with_bounded_degree() {
+        let (mut ov, _, mut rng) = overlay(50, 6, true, 7);
+        let new = ov.add_node(&mut rng);
+        let deg = ov.graph().degree(new).unwrap();
+        assert!(deg >= 1);
+        assert!(deg <= ov.config().d_max);
+    }
+
+    #[test]
+    fn peering_request_with_low_declared_degree_displaces_high_degree_peer() {
+        // This is the mechanism SOAP exploits (§VI-B).
+        let (mut ov, ids, mut rng) = overlay(30, 6, true, 8);
+        let target = ids[0];
+        let requester = ids[29];
+        // Saturate the target at d_max first.
+        let before: Vec<NodeId> = ov.peers(target).unwrap();
+        assert!(before.len() >= ov.config().d_min);
+        let accepted = ov.request_peering(requester, target, 2, &mut rng);
+        assert!(accepted);
+        assert!(ov.graph().has_edge(requester, target));
+    }
+
+    #[test]
+    fn random_node_returns_live_nodes_only() {
+        let (mut ov, ids, mut rng) = overlay(10, 4, true, 9);
+        for &id in ids.iter().take(9) {
+            ov.remove_node_with_repair(id, &mut rng);
+        }
+        let survivor = ov.random_node(&mut rng).unwrap();
+        assert_eq!(survivor, ids[9]);
+    }
+}

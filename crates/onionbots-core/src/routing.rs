@@ -1,0 +1,311 @@
+//! Message propagation over the overlay: flooding broadcast and greedy
+//! routing with Neighbors-of-Neighbor lookahead.
+//!
+//! The paper motivates the NoN construction with Manku et al.'s result that
+//! NoN greedy routing is asymptotically optimal (§IV-C) and requires the C&C
+//! to "reach each bot within reasonable steps" (§IV-A). Two propagation
+//! modes are provided:
+//!
+//! * [`flood_broadcast`] — the push-based broadcast used for C&C commands:
+//!   every node forwards to all peers; the result reports per-round coverage
+//!   and total message count.
+//! * [`greedy_route`] / [`non_greedy_route`] — identifier-based greedy
+//!   routing with one-hop versus two-hop (NoN) knowledge, used by the
+//!   ablation bench to show the lookahead benefit.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use onion_graph::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Result of a flooding broadcast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastReport {
+    /// Nodes reached (including the source).
+    pub reached: usize,
+    /// Number of live nodes at broadcast time.
+    pub population: usize,
+    /// Number of rounds (graph eccentricity of the source within its
+    /// component).
+    pub rounds: usize,
+    /// Total point-to-point messages sent.
+    pub messages: usize,
+    /// Nodes reached after each round (cumulative), starting with round 0 =
+    /// just the source.
+    pub coverage_per_round: Vec<usize>,
+}
+
+impl BroadcastReport {
+    /// Fraction of the live population reached.
+    pub fn coverage(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        self.reached as f64 / self.population as f64
+    }
+}
+
+/// Simulates a flooding (gossip-to-all-peers) broadcast from `source`.
+pub fn flood_broadcast(graph: &Graph, source: NodeId) -> BroadcastReport {
+    let population = graph.node_count();
+    if !graph.contains(source) {
+        return BroadcastReport {
+            reached: 0,
+            population,
+            rounds: 0,
+            messages: 0,
+            coverage_per_round: Vec::new(),
+        };
+    }
+    let mut informed: HashSet<NodeId> = HashSet::new();
+    informed.insert(source);
+    let mut frontier = vec![source];
+    let mut messages = 0usize;
+    let mut coverage_per_round = vec![1usize];
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            if let Some(neighbors) = graph.neighbors(u) {
+                for &v in neighbors {
+                    messages += 1;
+                    if informed.insert(v) {
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        rounds += 1;
+        coverage_per_round.push(informed.len());
+        frontier = next;
+    }
+    BroadcastReport {
+        reached: informed.len(),
+        population,
+        rounds,
+        messages,
+        coverage_per_round,
+    }
+}
+
+/// Outcome of a greedy routing attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteReport {
+    /// Whether the destination was reached.
+    pub delivered: bool,
+    /// The sequence of hops taken (starting at the source).
+    pub path: Vec<NodeId>,
+}
+
+impl RouteReport {
+    /// Number of hops taken (path length minus one, 0 for failed routes of
+    /// length <= 1).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Identifier distance used by greedy routing: XOR of node indices
+/// (a Kademlia-style metric on the overlay identifier space).
+fn id_distance(a: NodeId, b: NodeId) -> u64 {
+    (a.0 as u64) ^ (b.0 as u64)
+}
+
+/// Greedy routing with one-hop knowledge: at each step move to the neighbor
+/// closest to the destination; stop when no neighbor improves the distance.
+pub fn greedy_route(graph: &Graph, source: NodeId, destination: NodeId, max_hops: usize) -> RouteReport {
+    route_with_lookahead(graph, source, destination, max_hops, false)
+}
+
+/// Greedy routing with Neighbors-of-Neighbor lookahead: at each step consider
+/// the best distance achievable *through* each neighbor (its own neighbors
+/// included), as in the NoN routing the paper cites.
+pub fn non_greedy_route(graph: &Graph, source: NodeId, destination: NodeId, max_hops: usize) -> RouteReport {
+    route_with_lookahead(graph, source, destination, max_hops, true)
+}
+
+fn route_with_lookahead(
+    graph: &Graph,
+    source: NodeId,
+    destination: NodeId,
+    max_hops: usize,
+    lookahead: bool,
+) -> RouteReport {
+    let mut path = vec![source];
+    if !graph.contains(source) || !graph.contains(destination) {
+        return RouteReport {
+            delivered: false,
+            path,
+        };
+    }
+    let mut current = source;
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    visited.insert(source);
+    while current != destination && path.len() <= max_hops {
+        let Some(neighbors) = graph.neighbors(current) else {
+            break;
+        };
+        // Score each candidate neighbor.
+        let mut best: Option<(u64, NodeId)> = None;
+        for &n in neighbors {
+            if visited.contains(&n) {
+                continue;
+            }
+            let score = if n == destination {
+                0
+            } else if lookahead {
+                // Best distance achievable through n (NoN knowledge).
+                let through = graph
+                    .neighbors(n)
+                    .map(|nn| {
+                        nn.iter()
+                            .map(|&m| id_distance(m, destination))
+                            .min()
+                            .unwrap_or(u64::MAX)
+                    })
+                    .unwrap_or(u64::MAX);
+                through.min(id_distance(n, destination))
+            } else {
+                id_distance(n, destination)
+            };
+            if best.map_or(true, |(s, _)| score < s) {
+                best = Some((score, n));
+            }
+        }
+        match best {
+            Some((_, next)) => {
+                visited.insert(next);
+                path.push(next);
+                current = next;
+            }
+            None => break,
+        }
+    }
+    RouteReport {
+        delivered: current == destination,
+        path,
+    }
+}
+
+/// Shortest-path hop count between two nodes (BFS ground truth used to
+/// validate the greedy routes).
+pub fn shortest_path_hops(graph: &Graph, source: NodeId, destination: NodeId) -> Option<usize> {
+    if !graph.contains(source) || !graph.contains(destination) {
+        return None;
+    }
+    let mut dist: HashMap<NodeId, usize> = HashMap::new();
+    dist.insert(source, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        if u == destination {
+            return Some(dist[&u]);
+        }
+        let d = dist[&u];
+        if let Some(neighbors) = graph.neighbors(u) {
+            for &v in neighbors {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_graph::generators::{random_regular, ring_lattice};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn broadcast_reaches_every_node_in_a_connected_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, ids) = random_regular(200, 8, &mut rng);
+        let report = flood_broadcast(&g, ids[0]);
+        assert_eq!(report.reached, 200);
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+        assert!(report.rounds <= 6, "8-regular 200-node graph has tiny diameter");
+        assert_eq!(report.messages, 200 * 8, "every node forwards to all peers once");
+        assert_eq!(*report.coverage_per_round.last().unwrap(), 200);
+    }
+
+    #[test]
+    fn broadcast_is_limited_to_the_source_component() {
+        let (mut g, ids) = onion_graph::graph::Graph::with_nodes(6);
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[3], ids[4]);
+        let report = flood_broadcast(&g, ids[0]);
+        assert_eq!(report.reached, 3);
+        assert!(report.coverage() < 1.0);
+    }
+
+    #[test]
+    fn broadcast_from_missing_node_reaches_nothing() {
+        let (g, ids) = onion_graph::graph::Graph::with_nodes(3);
+        let mut g = g;
+        g.remove_node(ids[0]);
+        let report = flood_broadcast(&g, ids[0]);
+        assert_eq!(report.reached, 0);
+    }
+
+    #[test]
+    fn greedy_routing_succeeds_on_ring_lattices() {
+        let (g, ids) = ring_lattice(64, 4);
+        let report = non_greedy_route(&g, ids[0], ids[20], 64);
+        assert!(report.delivered);
+        assert!(report.hops() >= shortest_path_hops(&g, ids[0], ids[20]).unwrap());
+    }
+
+    #[test]
+    fn non_lookahead_is_at_least_as_successful_as_plain_greedy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, ids) = random_regular(200, 8, &mut rng);
+        let mut greedy_ok = 0usize;
+        let mut non_ok = 0usize;
+        for i in 0..50 {
+            let src = ids[i];
+            let dst = ids[199 - i];
+            if greedy_route(&g, src, dst, 200).delivered {
+                greedy_ok += 1;
+            }
+            if non_greedy_route(&g, src, dst, 200).delivered {
+                non_ok += 1;
+            }
+        }
+        assert!(non_ok >= greedy_ok);
+        assert!(non_ok > 0);
+    }
+
+    #[test]
+    fn routes_to_self_are_trivial() {
+        let (g, ids) = ring_lattice(10, 2);
+        let report = greedy_route(&g, ids[3], ids[3], 10);
+        assert!(report.delivered);
+        assert_eq!(report.hops(), 0);
+    }
+
+    #[test]
+    fn routing_to_missing_destination_fails_cleanly() {
+        let (mut g, ids) = ring_lattice(10, 2);
+        g.remove_node(ids[5]);
+        let report = non_greedy_route(&g, ids[0], ids[5], 10);
+        assert!(!report.delivered);
+        assert!(shortest_path_hops(&g, ids[0], ids[5]).is_none());
+    }
+
+    #[test]
+    fn hop_budget_is_respected() {
+        let (g, ids) = ring_lattice(100, 2);
+        let report = greedy_route(&g, ids[0], ids[50], 5);
+        assert!(!report.delivered);
+        assert!(report.path.len() <= 6);
+    }
+}

@@ -1,0 +1,172 @@
+//! A small discrete-event simulation engine.
+//!
+//! The figure experiments are step-driven, but the botnet-level scenarios
+//! (staggered takedowns, daily address rotation, SOAP campaigns racing
+//! against repair) need events ordered on a virtual clock. [`EventQueue`] is
+//! a deterministic priority queue of `(time, sequence, event)` entries; ties
+//! are broken by insertion order so runs are reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event of type `E`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Virtual time at which the event fires.
+    pub at: u64,
+    /// Insertion sequence number (tie-breaker).
+    pub sequence: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    entries: std::collections::HashMap<(u64, u64), E>,
+    next_sequence: u64,
+    now: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            entries: std::collections::HashMap::new(),
+            next_sequence: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (the firing time of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an event at absolute virtual time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: u64, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        let key = (at, self.next_sequence);
+        self.next_sequence += 1;
+        self.heap.push(Reverse(key));
+        self.entries.insert(key, event);
+    }
+
+    /// Schedules an event `delay` ticks from the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let Reverse(key) = self.heap.pop()?;
+        let event = self.entries.remove(&key).expect("entry exists for key");
+        self.now = key.0;
+        Some(Scheduled {
+            at: key.0,
+            sequence: key.1,
+            event,
+        })
+    }
+
+    /// Pops and handles every event up to and including time `until`,
+    /// invoking `handler` for each. The handler may schedule further events.
+    pub fn run_until<F>(&mut self, until: u64, mut handler: F) -> usize
+    where
+        F: FnMut(&mut Self, Scheduled<E>),
+    {
+        let mut handled = 0usize;
+        loop {
+            let next_time = match self.heap.peek() {
+                Some(Reverse((t, _))) => *t,
+                None => break,
+            };
+            if next_time > until {
+                break;
+            }
+            let scheduled = self.pop().expect("peeked entry exists");
+            handler(self, scheduled);
+            handled += 1;
+        }
+        self.now = self.now.max(until);
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order_with_stable_ties() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(10, "b");
+        q.schedule(5, "a");
+        q.schedule(10, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn run_until_handles_cascading_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(1, 1);
+        let mut fired = Vec::new();
+        let handled = q.run_until(5, |queue, ev| {
+            fired.push((ev.at, ev.event));
+            if ev.event < 4 {
+                queue.schedule_in(1, ev.event + 1);
+            }
+        });
+        assert_eq!(handled, 4);
+        assert_eq!(fired, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
+        assert_eq!(q.now(), 5);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_pending() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(3, "early");
+        q.schedule(100, "late");
+        let handled = q.run_until(10, |_, _| {});
+        assert_eq!(handled, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(5, "x");
+        q.pop();
+        q.schedule(1, "too late");
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.now(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Experiment series, reports and renderers shared by the figure-generation
+//! binaries.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// A named data series: `(x, y)` pairs plus a label, the unit the figures
+/// plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"deg = 5"`, `"DDSR"`, `"Normal"`).
+    pub label: String,
+    /// X values (e.g. nodes deleted).
+    pub x: Vec<f64>,
+    /// Y values (e.g. average closeness centrality).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` differ in length.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series axes must have equal length");
+        Series {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The final y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.y.last().copied()
+    }
+}
+
+/// A complete experiment report: the figure/table it reproduces plus its
+/// series, renderable as CSV or a fixed-width table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier, e.g. `"fig4a"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders as CSV: header `x,<label1>,<label2>,...` with one row per x
+    /// value of the first (longest) series; missing values are blank.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let _ = writeln!(out, "{}", header.join(","));
+        let rows = self.series.iter().map(Series::len).max().unwrap_or(0);
+        for i in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find(|s| i < s.len())
+                .map(|s| s.x[i])
+                .unwrap_or_default();
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                row.push(if i < s.len() {
+                    format_num(s.y[i])
+                } else {
+                    String::new()
+                });
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders as an aligned text table with the title, suitable for the
+    /// console output of the figure binaries.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ({}) ==", self.title, self.id);
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>16}", s.label);
+        }
+        let _ = writeln!(out);
+        let rows = self.series.iter().map(Series::len).max().unwrap_or(0);
+        for i in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find(|s| i < s.len())
+                .map(|s| s.x[i])
+                .unwrap_or_default();
+            let _ = write!(out, "{:>14}", format_num(x));
+            for s in &self.series {
+                if i < s.len() {
+                    let _ = write!(out, " {:>16}", format_num(s.y[i]));
+                } else {
+                    let _ = write!(out, " {:>16}", "");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serializes the report as pretty JSON (for EXPERIMENTS.md provenance).
+    ///
+    /// # Panics
+    /// Never panics in practice; the structure is always serializable.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExperimentReport {
+        let mut r = ExperimentReport::new("fig-test", "Test figure", "x", "y");
+        r.push_series(Series::new("a", vec![0.0, 1.0, 2.0], vec![0.5, 0.25, 0.125]));
+        r.push_series(Series::new("b", vec![0.0, 1.0], vec![3.0, 4.0]));
+        r
+    }
+
+    #[test]
+    fn series_construction_and_accessors() {
+        let s = Series::new("deg = 5", vec![0.0, 10.0], vec![0.9, 0.8]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.last_y(), Some(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_series_axes_panic() {
+        Series::new("bad", vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[3].ends_with(','), "short series leaves a blank cell");
+    }
+
+    #[test]
+    fn table_contains_title_and_labels() {
+        let table = report().to_table();
+        assert!(table.contains("Test figure"));
+        assert!(table.contains("fig-test"));
+        assert!(table.contains('a'));
+        assert!(table.contains('b'));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report();
+        let restored: ExperimentReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(restored, r);
+    }
+
+    #[test]
+    fn numbers_are_formatted_compactly() {
+        assert_eq!(format_num(5.0), "5");
+        assert_eq!(format_num(0.12345678), "0.1235");
+    }
+}

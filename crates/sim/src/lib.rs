@@ -1,0 +1,38 @@
+//! # sim
+//!
+//! Experiment infrastructure for the OnionBots (DSN 2015) evaluation:
+//!
+//! * [`engine`] — a deterministic discrete-event queue for scenario
+//!   scheduling.
+//! * [`scenario`] — the takedown experiments behind Figures 4, 5 and 6:
+//!   gradual (self-repairing vs. normal) takedowns with metric sampling, and
+//!   the simultaneous-deletion partition threshold.
+//! * [`experiment`] — data series, CSV / table / JSON rendering shared by the
+//!   figure-regeneration binaries in `crates/bench`.
+//!
+//! ```
+//! use sim::scenario::{gradual_takedown, TakedownMode, TakedownParams};
+//! use onionbots_core::{DdsrConfig, DdsrOverlay};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let (mut overlay, ids) = DdsrOverlay::new_regular(120, 10, DdsrConfig::for_degree(10), &mut rng);
+//! let samples = gradual_takedown(
+//!     &mut overlay,
+//!     &ids,
+//!     TakedownMode::SelfRepairing,
+//!     TakedownParams { deletions: 36, sample_every: 12, metric_samples: 30 },
+//!     &mut rng,
+//! );
+//! assert_eq!(samples.last().unwrap().connected_components, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod experiment;
+pub mod scenario;
+
+pub use experiment::{ExperimentReport, Series};
+pub use scenario::{gradual_takedown, partition_threshold, TakedownMode, TakedownParams};

@@ -1,0 +1,223 @@
+//! Fixed-size Tor cells.
+//!
+//! "the client sends the data in fixed sized cells" (§III) and OnionBot
+//! messages are "all of the same fixed size, as they are in Tor" (§IV-D).
+//! The simulator moves every payload in 512-byte cells so that an observer
+//! of the simulated wire sees only uniform-size, uniform-looking units.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::TorError;
+
+/// Total size of a cell in bytes.
+pub const CELL_LEN: usize = 512;
+
+/// Header bytes: 4-byte circuit id + 1-byte command + 2-byte payload length.
+pub const CELL_HEADER_LEN: usize = 7;
+
+/// Maximum payload carried by a single cell.
+pub const CELL_PAYLOAD_LEN: usize = CELL_LEN - CELL_HEADER_LEN;
+
+/// Cell commands, mirroring the subset of Tor's relay commands the simulator
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellCommand {
+    /// Extend / create a circuit hop.
+    Create,
+    /// Data relayed along an established circuit.
+    Relay,
+    /// Introduction-point handshake message.
+    Introduce,
+    /// Rendezvous establishment.
+    Rendezvous,
+    /// Circuit teardown.
+    Destroy,
+}
+
+impl CellCommand {
+    fn to_byte(self) -> u8 {
+        match self {
+            CellCommand::Create => 1,
+            CellCommand::Relay => 2,
+            CellCommand::Introduce => 3,
+            CellCommand::Rendezvous => 4,
+            CellCommand::Destroy => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, TorError> {
+        match b {
+            1 => Ok(CellCommand::Create),
+            2 => Ok(CellCommand::Relay),
+            3 => Ok(CellCommand::Introduce),
+            4 => Ok(CellCommand::Rendezvous),
+            5 => Ok(CellCommand::Destroy),
+            other => Err(TorError::MalformedCell(format!("unknown command byte {other}"))),
+        }
+    }
+}
+
+/// A fixed-size cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Circuit the cell belongs to.
+    pub circuit_id: u32,
+    /// Command.
+    pub command: CellCommand,
+    /// Application payload (at most [`CELL_PAYLOAD_LEN`] bytes).
+    pub payload: Bytes,
+}
+
+impl Cell {
+    /// Creates a cell.
+    ///
+    /// # Errors
+    /// Returns [`TorError::MalformedCell`] if the payload exceeds
+    /// [`CELL_PAYLOAD_LEN`].
+    pub fn new(circuit_id: u32, command: CellCommand, payload: impl Into<Bytes>) -> Result<Self, TorError> {
+        let payload = payload.into();
+        if payload.len() > CELL_PAYLOAD_LEN {
+            return Err(TorError::MalformedCell(format!(
+                "payload of {} bytes exceeds cell capacity {}",
+                payload.len(),
+                CELL_PAYLOAD_LEN
+            )));
+        }
+        Ok(Cell {
+            circuit_id,
+            command,
+            payload,
+        })
+    }
+
+    /// Serializes to exactly [`CELL_LEN`] bytes (zero padded).
+    pub fn to_wire(&self) -> [u8; CELL_LEN] {
+        let mut out = [0u8; CELL_LEN];
+        out[..4].copy_from_slice(&self.circuit_id.to_be_bytes());
+        out[4] = self.command.to_byte();
+        out[5..7].copy_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out[CELL_HEADER_LEN..CELL_HEADER_LEN + self.payload.len()].copy_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a wire-format cell.
+    ///
+    /// # Errors
+    /// Returns [`TorError::MalformedCell`] for wrong-size buffers, unknown
+    /// commands or inconsistent length fields.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, TorError> {
+        if bytes.len() != CELL_LEN {
+            return Err(TorError::MalformedCell(format!(
+                "expected {CELL_LEN}-byte cell, got {}",
+                bytes.len()
+            )));
+        }
+        let circuit_id = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let command = CellCommand::from_byte(bytes[4])?;
+        let len = u16::from_be_bytes([bytes[5], bytes[6]]) as usize;
+        if len > CELL_PAYLOAD_LEN {
+            return Err(TorError::MalformedCell(
+                "length field exceeds payload capacity".to_string(),
+            ));
+        }
+        Ok(Cell {
+            circuit_id,
+            command,
+            payload: Bytes::copy_from_slice(&bytes[CELL_HEADER_LEN..CELL_HEADER_LEN + len]),
+        })
+    }
+
+    /// Splits an arbitrary payload into as many relay cells as needed.
+    pub fn fragment(circuit_id: u32, payload: &[u8]) -> Vec<Cell> {
+        if payload.is_empty() {
+            return vec![Cell::new(circuit_id, CellCommand::Relay, Bytes::new())
+                .expect("empty payload always fits")];
+        }
+        payload
+            .chunks(CELL_PAYLOAD_LEN)
+            .map(|chunk| {
+                Cell::new(circuit_id, CellCommand::Relay, Bytes::copy_from_slice(chunk))
+                    .expect("chunk size bounded by capacity")
+            })
+            .collect()
+    }
+
+    /// Reassembles the payload from a sequence of relay cells.
+    pub fn reassemble(cells: &[Cell]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for c in cells {
+            out.extend_from_slice(&c.payload);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let cell = Cell::new(42, CellCommand::Relay, b"hello".to_vec()).unwrap();
+        let wire = cell.to_wire();
+        assert_eq!(wire.len(), CELL_LEN);
+        let parsed = Cell::from_wire(&wire).unwrap();
+        assert_eq!(parsed, cell);
+    }
+
+    #[test]
+    fn all_commands_roundtrip() {
+        for cmd in [
+            CellCommand::Create,
+            CellCommand::Relay,
+            CellCommand::Introduce,
+            CellCommand::Rendezvous,
+            CellCommand::Destroy,
+        ] {
+            let cell = Cell::new(1, cmd, Bytes::new()).unwrap();
+            assert_eq!(Cell::from_wire(&cell.to_wire()).unwrap().command, cmd);
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let payload = vec![0u8; CELL_PAYLOAD_LEN + 1];
+        assert!(Cell::new(1, CellCommand::Relay, payload).is_err());
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(Cell::from_wire(&[0u8; 10]).is_err());
+        let mut wire = [0u8; CELL_LEN];
+        wire[4] = 99; // unknown command
+        assert!(Cell::from_wire(&wire).is_err());
+        let mut wire2 = Cell::new(1, CellCommand::Relay, Bytes::new()).unwrap().to_wire();
+        wire2[5] = 0xff;
+        wire2[6] = 0xff; // impossible length
+        assert!(Cell::from_wire(&wire2).is_err());
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly() {
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i % 256) as u8).collect();
+        let cells = Cell::fragment(7, &payload);
+        assert_eq!(cells.len(), payload.len().div_ceil(CELL_PAYLOAD_LEN));
+        assert!(cells.iter().all(|c| c.circuit_id == 7));
+        assert_eq!(Cell::reassemble(&cells), payload);
+    }
+
+    #[test]
+    fn empty_payload_still_produces_one_cell() {
+        let cells = Cell::fragment(1, &[]);
+        assert_eq!(cells.len(), 1);
+        assert!(Cell::reassemble(&cells).is_empty());
+    }
+
+    #[test]
+    fn cells_on_the_wire_have_identical_size_regardless_of_content() {
+        let a = Cell::new(1, CellCommand::Relay, b"x".to_vec()).unwrap();
+        let b = Cell::new(2, CellCommand::Introduce, vec![9u8; 400]).unwrap();
+        assert_eq!(a.to_wire().len(), b.to_wire().len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Circuits and layered (onion) encryption.
+//!
+//! "A client builds a circuit with the relays by negotiating symmetric keys
+//! with them. After building the circuit, the client sends the data in fixed
+//! sized cells and encrypts them in multiple layers, using the previously
+//! negotiated keys" (§III). The simulator models exactly that: a circuit is
+//! an ordered list of relay hops, each with a symmetric key; the originator
+//! wraps a payload in one ChaCha20 layer per hop and every hop peels exactly
+//! one layer, so no relay sees both the plaintext and the endpoints.
+
+use onion_crypto::chacha20::ChaCha20;
+use rand::Rng;
+
+use crate::error::TorError;
+use crate::relay::Fingerprint;
+
+/// Default number of hops in a simulated circuit (matching Tor's 3).
+pub const DEFAULT_CIRCUIT_HOPS: usize = 3;
+
+/// A built circuit: hops and the symmetric key negotiated with each hop.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    id: u32,
+    hops: Vec<Fingerprint>,
+    hop_keys: Vec<[u8; 32]>,
+    nonce: [u8; 12],
+}
+
+impl Circuit {
+    /// Builds a circuit through the given hops, "negotiating" a fresh random
+    /// key with each (the simulator does not model the TAP/ntor handshake —
+    /// only its outcome, a per-hop shared key).
+    ///
+    /// # Errors
+    /// Returns [`TorError::CircuitFailed`] if no hops are provided.
+    pub fn build<R: Rng + ?Sized>(id: u32, hops: Vec<Fingerprint>, rng: &mut R) -> Result<Self, TorError> {
+        if hops.is_empty() {
+            return Err(TorError::CircuitFailed("a circuit needs at least one hop".to_string()));
+        }
+        let hop_keys = hops
+            .iter()
+            .map(|_| {
+                let mut key = [0u8; 32];
+                rng.fill(&mut key);
+                key
+            })
+            .collect();
+        let mut nonce = [0u8; 12];
+        rng.fill(&mut nonce);
+        Ok(Circuit {
+            id,
+            hops,
+            hop_keys,
+            nonce,
+        })
+    }
+
+    /// The circuit identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The relay fingerprints along the circuit, from the first (guard) hop
+    /// to the last.
+    pub fn hops(&self) -> &[Fingerprint] {
+        &self.hops
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Returns `true` if the circuit has no hops (never true for a built
+    /// circuit; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Applies all encryption layers the originator would apply: the payload
+    /// ends up wrapped so that hop 0 peels the outermost layer.
+    pub fn onion_encrypt(&self, payload: &[u8]) -> Vec<u8> {
+        let mut data = payload.to_vec();
+        // The last hop's layer is applied first so it ends up innermost.
+        for key in self.hop_keys.iter().rev() {
+            data = ChaCha20::new(key, &self.nonce, 0).apply(&data);
+        }
+        data
+    }
+
+    /// Peels the single layer belonging to hop `hop_index`.
+    ///
+    /// # Errors
+    /// Returns [`TorError::CircuitFailed`] for an out-of-range hop index.
+    pub fn peel_layer(&self, hop_index: usize, data: &[u8]) -> Result<Vec<u8>, TorError> {
+        let key = self.hop_keys.get(hop_index).ok_or_else(|| {
+            TorError::CircuitFailed(format!("hop index {hop_index} out of range"))
+        })?;
+        Ok(ChaCha20::new(key, &self.nonce, 0).apply(data))
+    }
+
+    /// Simulates the full relay pipeline: the originator onion-encrypts and
+    /// every hop peels one layer in order; the result is the plaintext seen
+    /// by the final hop.
+    pub fn relay_through(&self, payload: &[u8]) -> Vec<u8> {
+        let mut data = self.onion_encrypt(payload);
+        for hop_index in 0..self.hops.len() {
+            data = self
+                .peel_layer(hop_index, &data)
+                .expect("hop indices generated in range");
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hops(n: usize, rng: &mut StdRng) -> Vec<Fingerprint> {
+        (0..n).map(|_| Fingerprint::random(rng)).collect()
+    }
+
+    #[test]
+    fn build_rejects_empty_hop_list() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Circuit::build(1, Vec::new(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn full_relay_recovers_plaintext() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for hop_count in 1..=5 {
+            let circuit = Circuit::build(1, hops(hop_count, &mut rng), &mut rng).unwrap();
+            let payload = b"rendezvous with me at relay X";
+            assert_eq!(circuit.relay_through(payload), payload.to_vec(), "hops {hop_count}");
+        }
+    }
+
+    #[test]
+    fn intermediate_hops_do_not_see_plaintext() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let circuit = Circuit::build(9, hops(3, &mut rng), &mut rng).unwrap();
+        let payload = b"secret command".to_vec();
+        let mut data = circuit.onion_encrypt(&payload);
+        // After peeling only the first layer (what the guard sees) the data
+        // must still differ from the plaintext.
+        data = circuit.peel_layer(0, &data).unwrap();
+        assert_ne!(data, payload);
+        data = circuit.peel_layer(1, &data).unwrap();
+        assert_ne!(data, payload);
+        data = circuit.peel_layer(2, &data).unwrap();
+        assert_eq!(data, payload);
+    }
+
+    #[test]
+    fn peeling_out_of_range_hop_fails() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let circuit = Circuit::build(1, hops(2, &mut rng), &mut rng).unwrap();
+        assert!(circuit.peel_layer(2, b"data").is_err());
+    }
+
+    #[test]
+    fn distinct_circuits_produce_distinct_ciphertexts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shared_hops = hops(3, &mut rng);
+        let c1 = Circuit::build(1, shared_hops.clone(), &mut rng).unwrap();
+        let c2 = Circuit::build(2, shared_hops, &mut rng).unwrap();
+        assert_ne!(c1.onion_encrypt(b"same payload"), c2.onion_encrypt(b"same payload"));
+    }
+
+    #[test]
+    fn accessors_report_structure() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hop_list = hops(3, &mut rng);
+        let circuit = Circuit::build(77, hop_list.clone(), &mut rng).unwrap();
+        assert_eq!(circuit.id(), 77);
+        assert_eq!(circuit.hops(), hop_list.as_slice());
+        assert_eq!(circuit.len(), 3);
+        assert!(!circuit.is_empty());
+    }
+}

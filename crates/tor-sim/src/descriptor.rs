@@ -1,0 +1,145 @@
+//! Hidden-service descriptors.
+//!
+//! A descriptor advertises a hidden service's public key and its current
+//! introduction points; it is signed by the service and stored on the
+//! responsible HSDirs (§III). Clients fetch it to learn where to send the
+//! introduction message.
+
+use onion_crypto::rsa::{EncodedPublicKey, RsaKeyPair, RsaPublicKey};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TorError;
+use crate::onion::OnionAddress;
+use crate::relay::Fingerprint;
+
+/// A signed hidden-service descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HiddenServiceDescriptor {
+    /// The service's public key (also determines the onion address).
+    pub public_key: EncodedPublicKey,
+    /// Introduction points currently serving the service.
+    pub intro_points: Vec<Fingerprint>,
+    /// Publication time in seconds.
+    pub published_at_secs: u64,
+    /// RSA signature over the canonical descriptor bytes.
+    pub signature: Vec<u8>,
+}
+
+impl HiddenServiceDescriptor {
+    /// Creates and signs a descriptor for `service_key`.
+    pub fn create(
+        service_key: &RsaKeyPair,
+        intro_points: Vec<Fingerprint>,
+        published_at_secs: u64,
+    ) -> Self {
+        let public_key = service_key.public().encode();
+        let body = Self::canonical_bytes(&public_key, &intro_points, published_at_secs);
+        let signature = service_key.sign(&body);
+        HiddenServiceDescriptor {
+            public_key,
+            intro_points,
+            published_at_secs,
+            signature,
+        }
+    }
+
+    /// The onion address this descriptor belongs to (derived, not stored).
+    ///
+    /// # Errors
+    /// Returns [`TorError::InvalidDescriptor`] if the embedded key is
+    /// malformed.
+    pub fn onion_address(&self) -> Result<OnionAddress, TorError> {
+        let key = RsaPublicKey::decode(&self.public_key)
+            .map_err(|e| TorError::InvalidDescriptor(e.to_string()))?;
+        Ok(OnionAddress::from_public_key(&key))
+    }
+
+    /// Verifies the signature against the embedded public key.
+    pub fn verify(&self) -> bool {
+        let Ok(key) = RsaPublicKey::decode(&self.public_key) else {
+            return false;
+        };
+        let body = Self::canonical_bytes(&self.public_key, &self.intro_points, self.published_at_secs);
+        key.verify(&body, &self.signature)
+    }
+
+    fn canonical_bytes(
+        public_key: &EncodedPublicKey,
+        intro_points: &[Fingerprint],
+        published_at_secs: u64,
+    ) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(public_key.n_hex.as_bytes());
+        body.extend_from_slice(b"|");
+        body.extend_from_slice(public_key.e_hex.as_bytes());
+        body.extend_from_slice(b"|");
+        for ip in intro_points {
+            body.extend_from_slice(&ip.0);
+        }
+        body.extend_from_slice(&published_at_secs.to_be_bytes());
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service_key(seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    fn intro_points(n: usize, seed: u64) -> Vec<Fingerprint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Fingerprint::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn created_descriptors_verify() {
+        let key = service_key(1);
+        let desc = HiddenServiceDescriptor::create(&key, intro_points(3, 10), 1000);
+        assert!(desc.verify());
+        assert_eq!(
+            desc.onion_address().unwrap(),
+            OnionAddress::from_public_key(key.public())
+        );
+    }
+
+    #[test]
+    fn tampered_descriptors_fail_verification() {
+        let key = service_key(2);
+        let mut desc = HiddenServiceDescriptor::create(&key, intro_points(3, 11), 1000);
+        desc.published_at_secs += 1;
+        assert!(!desc.verify());
+
+        let mut desc2 = HiddenServiceDescriptor::create(&key, intro_points(3, 12), 1000);
+        desc2.intro_points.pop();
+        assert!(!desc2.verify());
+
+        let other_key = service_key(3);
+        let mut desc3 = HiddenServiceDescriptor::create(&key, intro_points(3, 13), 1000);
+        desc3.public_key = other_key.public().encode();
+        assert!(!desc3.verify());
+    }
+
+    #[test]
+    fn descriptor_with_no_intro_points_is_still_wellformed() {
+        let key = service_key(4);
+        let desc = HiddenServiceDescriptor::create(&key, Vec::new(), 55);
+        assert!(desc.verify());
+        assert!(desc.intro_points.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_verification() {
+        let key = service_key(5);
+        let desc = HiddenServiceDescriptor::create(&key, intro_points(2, 14), 77);
+        let json = serde_json::to_string(&desc).unwrap();
+        let restored: HiddenServiceDescriptor = serde_json::from_str(&json).unwrap();
+        assert!(restored.verify());
+        assert_eq!(restored, desc);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the simulated Tor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated Tor network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TorError {
+    /// A `.onion` address string could not be parsed.
+    InvalidOnionAddress(String),
+    /// No descriptor for the requested hidden service is currently published
+    /// on any responsible HSDir.
+    DescriptorNotFound(String),
+    /// The hidden service is not reachable (not registered or taken down).
+    ServiceUnreachable(String),
+    /// A relay referenced by fingerprint is not in the current consensus.
+    UnknownRelay(String),
+    /// A circuit could not be built (not enough relays, or a hop rejected).
+    CircuitFailed(String),
+    /// A descriptor failed signature validation.
+    InvalidDescriptor(String),
+    /// A cell was malformed (wrong size or inconsistent framing).
+    MalformedCell(String),
+}
+
+impl fmt::Display for TorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TorError::InvalidOnionAddress(msg) => write!(f, "invalid onion address: {msg}"),
+            TorError::DescriptorNotFound(msg) => write!(f, "descriptor not found: {msg}"),
+            TorError::ServiceUnreachable(msg) => write!(f, "hidden service unreachable: {msg}"),
+            TorError::UnknownRelay(msg) => write!(f, "unknown relay: {msg}"),
+            TorError::CircuitFailed(msg) => write!(f, "circuit failed: {msg}"),
+            TorError::InvalidDescriptor(msg) => write!(f, "invalid descriptor: {msg}"),
+            TorError::MalformedCell(msg) => write!(f, "malformed cell: {msg}"),
+        }
+    }
+}
+
+impl Error for TorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TorError::DescriptorNotFound("abcdef.onion".to_string());
+        assert!(e.to_string().contains("abcdef.onion"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TorError>();
+    }
+}

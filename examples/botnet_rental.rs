@@ -1,0 +1,82 @@
+//! Botnet-for-rent flow (§IV-E): Mallory (the botmaster) certifies Trudy's
+//! (the renter's) key with an expiring, whitelisted token; Trudy's signed
+//! commands are accepted by bots only while the token is valid and only for
+//! whitelisted command kinds. Everything is inert simulation.
+//!
+//! Run with: `cargo run --example botnet_rental`
+
+use onionbots::botnet::messages::{Audience, CommandKind, SignedCommand};
+use onionbots::botnet::BotnetSimulation;
+use onionbots::crypto::rsa::RsaKeyPair;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+
+    let mut sim = BotnetSimulation::new(40, &mut rng);
+    sim.infect(20, &mut rng);
+    sim.rally(4, &mut rng);
+
+    // Trudy generates her own key pair and Mallory certifies it.
+    let trudy = RsaKeyPair::generate(512, &mut rng);
+    let token = sim.botmaster().issue_rental_token(
+        trudy.public(),
+        10_000,
+        vec!["simulated-compute".to_string()],
+    );
+    println!(
+        "rental token issued: expires at t={}s, whitelist = {:?}",
+        token.expires_at_secs, token.whitelisted_commands
+    );
+
+    // A whitelisted command from Trudy propagates and executes everywhere.
+    let sequence = sim.botmaster_mut().next_sequence_for_renter();
+    let allowed = SignedCommand::sign(
+        &trudy,
+        CommandKind::SimulatedCompute { work_units: 50 },
+        Audience::Broadcast,
+        sequence,
+        sim.clock_secs(),
+        Some(token.clone()),
+    );
+    let report = sim.propagate(&allowed, 3, &mut rng);
+    println!(
+        "whitelisted compute command: reached {}/{} bots, executed by {}",
+        report.bots_reached, report.population, report.bots_executed
+    );
+
+    // A non-whitelisted command from Trudy is relayed but never executed.
+    let sequence = sim.botmaster_mut().next_sequence_for_renter();
+    let forbidden = SignedCommand::sign(
+        &trudy,
+        CommandKind::SimulatedDdos {
+            target: "victim.example".to_string(),
+        },
+        Audience::Broadcast,
+        sequence,
+        sim.clock_secs(),
+        Some(token.clone()),
+    );
+    let report = sim.propagate(&forbidden, 3, &mut rng);
+    println!(
+        "non-whitelisted ddos command: reached {} bots but executed by {}",
+        report.bots_reached, report.bots_executed
+    );
+
+    // After the token expires, even whitelisted commands are rejected.
+    sim.advance_time(20_000);
+    let sequence = sim.botmaster_mut().next_sequence_for_renter();
+    let expired = SignedCommand::sign(
+        &trudy,
+        CommandKind::SimulatedCompute { work_units: 5 },
+        Audience::Broadcast,
+        sequence,
+        sim.clock_secs(),
+        Some(token),
+    );
+    let report = sim.propagate(&expired, 3, &mut rng);
+    println!(
+        "after token expiry: reached {} bots, executed by {}",
+        report.bots_reached, report.bots_executed
+    );
+}

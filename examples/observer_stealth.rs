@@ -1,0 +1,60 @@
+//! What a network observer sees (§V-A): propagate very different commands
+//! through the botnet while a passive wire observer records everything
+//! visible, then print the statistics the observer could compute — showing
+//! that sizes carry zero information, in contrast to an unpadded strawman
+//! botnet.
+//!
+//! Run with: `cargo run --example observer_stealth`
+
+use onionbots::botnet::messages::CommandKind;
+use onionbots::botnet::observer::WireObserver;
+use onionbots::botnet::BotnetSimulation;
+use onionbots::crypto::elligator::UNIFORM_CELL_LEN;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let mut sim = BotnetSimulation::new(30, &mut rng);
+    sim.infect(18, &mut rng);
+    sim.rally(4, &mut rng);
+
+    let mut observer = WireObserver::new();
+    let commands = vec![
+        CommandKind::Maintenance,
+        CommandKind::SimulatedDdos {
+            target: "a-very-long-and-descriptive-target-label.example.invalid".to_string(),
+        },
+        CommandKind::RotateAddresses { period: 2 },
+        CommandKind::SimulatedCompute { work_units: 1_000 },
+    ];
+    for (window, command) in commands.into_iter().enumerate() {
+        let before = sim.tor().stats().messages_delivered;
+        sim.broadcast_command(command.clone(), 2, &mut rng);
+        let delivered = sim.tor().stats().messages_delivered - before;
+        observer.observe_many(UNIFORM_CELL_LEN, window as u64, delivered as usize);
+        println!(
+            "window {window}: propagated {:<20} -> observer saw {delivered} identical {UNIFORM_CELL_LEN}-byte cells",
+            command.name()
+        );
+    }
+
+    let summary = observer.summarize();
+    println!("\nobserver summary for the OnionBot:");
+    println!("  total cells:            {}", summary.total_cells);
+    println!("  distinct sizes:         {}", summary.distinct_sizes);
+    println!("  size entropy:           {:.3} bits", summary.size_entropy_bits);
+    println!("  mean cells per window:  {:.1}", summary.mean_cells_per_window);
+
+    // Contrast with a strawman botnet that sends unpadded plaintext-size
+    // messages: the very same commands become trivially distinguishable.
+    let mut strawman = WireObserver::new();
+    for (window, size) in [64usize, 410, 96, 72].into_iter().enumerate() {
+        strawman.observe_many(size, window as u64, 18);
+    }
+    let leaky = strawman.summarize();
+    println!("\nstrawman (unpadded) botnet for contrast:");
+    println!("  distinct sizes:         {}", leaky.distinct_sizes);
+    println!("  size entropy:           {:.3} bits", leaky.size_entropy_bits);
+    println!("\nconclusion: the OnionBot's wire image is size-uniform (0 bits of size entropy),");
+    println!("so traffic-classification defenses keyed on message sizes have nothing to work with.");
+}

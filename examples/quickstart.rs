@@ -1,0 +1,60 @@
+//! Quickstart: build a small simulated Tor network, stand up an OnionBot
+//! overlay on top of it, broadcast a signed maintenance command, and then
+//! take a third of the bots down to watch the self-healing overlay absorb it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use onionbots::botnet::messages::CommandKind;
+use onionbots::botnet::BotnetSimulation;
+use onionbots::core::{DdsrConfig, DdsrOverlay};
+use onionbots::graph::components::{component_count, is_connected};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2015);
+
+    // --- Protocol level: bots over the simulated Tor network. -------------
+    println!("== protocol level: 30 bots over a 50-relay simulated Tor network ==");
+    let mut sim = BotnetSimulation::new(50, &mut rng);
+    sim.infect(30, &mut rng);
+    sim.rally(4, &mut rng);
+    let report = sim.broadcast_command(CommandKind::Maintenance, 3, &mut rng);
+    println!(
+        "broadcast reached {}/{} bots in {} gossip rounds ({} Tor deliveries, {} failed)",
+        report.bots_reached,
+        report.population,
+        report.rounds,
+        report.messages_sent,
+        report.messages_failed
+    );
+    let stats = sim.tor().stats();
+    println!(
+        "tor traffic so far: {} fixed-size cells relayed, {} descriptor publications",
+        stats.cells_relayed, stats.descriptors_published
+    );
+
+    // Rotate every bot to a fresh address (the daily "forgetting" step) and
+    // show that the botmaster can still reach them.
+    sim.rotate_all(1);
+    let after_rotation = sim.broadcast_command(CommandKind::Maintenance, 3, &mut rng);
+    println!(
+        "after address rotation the broadcast still reaches {}/{} bots",
+        after_rotation.bots_reached, after_rotation.population
+    );
+
+    // --- Overlay level: the DDSR self-healing graph at a larger scale. ----
+    println!("\n== overlay level: 600-node 10-regular DDSR graph under takedown ==");
+    let (mut overlay, ids) =
+        DdsrOverlay::new_regular(600, 10, DdsrConfig::for_degree(10), &mut rng);
+    for id in ids.iter().take(200) {
+        overlay.remove_node_with_repair(*id, &mut rng);
+    }
+    println!(
+        "after deleting 200/600 nodes: {} components (connected: {}), max degree {}, {} repair edges added, {} pruned",
+        component_count(overlay.graph()),
+        is_connected(overlay.graph()),
+        overlay.graph().max_degree(),
+        overlay.stats().edges_added,
+        overlay.stats().edges_pruned
+    );
+}

@@ -1,0 +1,59 @@
+//! # onionbots
+//!
+//! Umbrella crate for the **OnionBots (DSN 2015)** defensive research
+//! simulator — a from-scratch Rust reproduction of *OnionBots: Subverting
+//! Privacy Infrastructure for Cyber Attacks* (Sanatinia & Noubir).
+//!
+//! The workspace is split into focused crates, all re-exported here:
+//!
+//! * [`crypto`] (`onion-crypto`) — bignum, RSA, SHA-1/256, HMAC, ChaCha20,
+//!   base32, the `generateKey(PK_CC, H(K_B, i_p))` KDF and uniform message
+//!   encoding.
+//! * [`graph`] (`onion-graph`) — graphs, k-regular generators, centrality
+//!   and component metrics.
+//! * [`tor`] (`tor-sim`) — the simulated Tor substrate: relays, consensus,
+//!   HSDir ring, descriptors, circuits, cells and the [`tor::TorNetwork`].
+//! * [`core`] (`onionbots-core`) — the DDSR self-healing overlay (the
+//!   paper's contribution), maintenance protocol, address rotation and
+//!   routing.
+//! * [`botnet`] — bot life cycle, botmaster, signed commands, bootstrap
+//!   strategies, rental tokens and the end-to-end
+//!   [`botnet::BotnetSimulation`].
+//! * [`mitigation`] — SOAP, HSDir positioning, proof-of-work / rate-limit
+//!   defenses and the SuperOnion extension.
+//! * [`sim`] — takedown scenarios, experiment series and reporting.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+//!
+//! ```
+//! use onionbots::core::{DdsrConfig, DdsrOverlay};
+//! use onionbots::graph::components::is_connected;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2015);
+//! let (mut overlay, ids) = DdsrOverlay::new_regular(100, 10, DdsrConfig::for_degree(10), &mut rng);
+//! for id in ids.iter().take(60) {
+//!     overlay.remove_node_with_repair(*id, &mut rng);
+//! }
+//! assert!(is_connected(overlay.graph()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Re-export of the `botnet` crate (bot life cycle and C&C layer).
+pub use botnet;
+/// Re-export of the `mitigation` crate (SOAP, defenses, SuperOnion).
+pub use mitigation;
+/// Re-export of the `sim` crate (scenarios and experiment reports).
+pub use sim;
+
+/// Re-export of the `onion-crypto` crate.
+pub use onion_crypto as crypto;
+/// Re-export of the `onion-graph` crate.
+pub use onion_graph as graph;
+/// Re-export of the `onionbots-core` crate (the DDSR overlay).
+pub use onionbots_core as core;
+/// Re-export of the `tor-sim` crate (simulated Tor).
+pub use tor_sim as tor;
