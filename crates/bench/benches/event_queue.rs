@@ -1,0 +1,53 @@
+//! Throughput benchmarks for the discrete-event queue in `sim::engine`:
+//! bulk schedule/pop cycles and cascading `run_until` handling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sim::engine::EventQueue;
+
+const EVENTS: u64 = 10_000;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(EVENTS));
+
+    group.bench_function(format!("schedule_pop_{EVENTS}"), |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<u64> = EventQueue::new();
+            // Interleave two time streams so pops have real ordering work.
+            for i in 0..EVENTS {
+                let at = if i % 2 == 0 { i } else { EVENTS * 2 - i };
+                queue.schedule(at, i);
+            }
+            let mut sum = 0u64;
+            while let Some(event) = queue.pop() {
+                sum = sum.wrapping_add(event.event);
+            }
+            sum
+        });
+    });
+
+    group.bench_function(format!("run_until_cascade_{EVENTS}"), |b| {
+        b.iter_batched(
+            || {
+                let mut queue: EventQueue<u64> = EventQueue::new();
+                queue.schedule(1, 1);
+                queue
+            },
+            |mut queue| {
+                // Each handled event schedules the next, measuring the
+                // schedule+pop round trip through the handler path.
+                queue.run_until(EVENTS, |queue, event| {
+                    if event.event < EVENTS {
+                        queue.schedule_in(1, event.event + 1);
+                    }
+                })
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

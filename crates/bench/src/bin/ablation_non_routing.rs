@@ -1,85 +1,6 @@
-//! Ablation: the value of Neighbors-of-Neighbor lookahead (§IV-C).
-//!
-//! The paper builds the overlay on NoN knowledge and cites Manku et al.'s
-//! result that NoN greedy routing is asymptotically optimal. This ablation
-//! compares plain greedy routing (one-hop knowledge) against NoN greedy
-//! routing (two-hop lookahead) on the same overlays: delivery rate, mean hop
-//! count, and stretch versus the true shortest path.
-
-use onion_graph::generators::random_regular;
-use onionbots_bench::Scale;
-use onionbots_core::routing::{greedy_route, non_greedy_route, shortest_path_hops};
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
-use sim::{ExperimentReport, Series};
+//! NoN-lookahead ablation (thin wrapper): delegates to the
+//! `ablation-non` registry scenario.
 
 fn main() {
-    let scale = Scale::from_env();
-    let n = scale.population(2000);
-    let trials = 200usize;
-    println!("# Ablation — greedy routing with and without NoN lookahead (n = {n})\n");
-
-    let degrees = [4usize, 6, 8, 10, 15];
-    let mut delivery_greedy = Vec::new();
-    let mut delivery_non = Vec::new();
-    let mut stretch_greedy = Vec::new();
-    let mut stretch_non = Vec::new();
-
-    for &k in &degrees {
-        let mut rng = StdRng::seed_from_u64(9000 + k as u64);
-        let (graph, ids) = random_regular(n, k, &mut rng);
-        let mut ok_greedy = 0usize;
-        let mut ok_non = 0usize;
-        let mut sum_stretch_greedy = 0.0;
-        let mut sum_stretch_non = 0.0;
-        let mut stretch_samples_greedy = 0usize;
-        let mut stretch_samples_non = 0usize;
-        for _ in 0..trials {
-            let src = *ids.choose(&mut rng).expect("non-empty");
-            let dst = *ids.choose(&mut rng).expect("non-empty");
-            if src == dst {
-                continue;
-            }
-            let Some(optimal) = shortest_path_hops(&graph, src, dst) else {
-                continue;
-            };
-            let g = greedy_route(&graph, src, dst, n);
-            let non = non_greedy_route(&graph, src, dst, n);
-            if g.delivered {
-                ok_greedy += 1;
-                sum_stretch_greedy += g.hops() as f64 / optimal.max(1) as f64;
-                stretch_samples_greedy += 1;
-            }
-            if non.delivered {
-                ok_non += 1;
-                sum_stretch_non += non.hops() as f64 / optimal.max(1) as f64;
-                stretch_samples_non += 1;
-            }
-        }
-        delivery_greedy.push(ok_greedy as f64 / trials as f64);
-        delivery_non.push(ok_non as f64 / trials as f64);
-        stretch_greedy.push(sum_stretch_greedy / stretch_samples_greedy.max(1) as f64);
-        stretch_non.push(sum_stretch_non / stretch_samples_non.max(1) as f64);
-    }
-
-    let x: Vec<f64> = degrees.iter().map(|&k| k as f64).collect();
-    let mut delivery = ExperimentReport::new(
-        "ablation-non-delivery",
-        "Delivery rate of greedy routing",
-        "degree",
-        "delivery rate",
-    );
-    delivery.push_series(Series::new("greedy (1-hop)", x.clone(), delivery_greedy));
-    delivery.push_series(Series::new("NoN greedy (2-hop)", x.clone(), delivery_non));
-    println!("{}", delivery.to_table());
-
-    let mut stretch = ExperimentReport::new(
-        "ablation-non-stretch",
-        "Path stretch vs. shortest path (delivered routes)",
-        "degree",
-        "stretch",
-    );
-    stretch.push_series(Series::new("greedy (1-hop)", x.clone(), stretch_greedy));
-    stretch.push_series(Series::new("NoN greedy (2-hop)", x, stretch_non));
-    println!("{}", stretch.to_table());
+    onionbots_bench::scenarios::run_legacy("ablation-non");
 }

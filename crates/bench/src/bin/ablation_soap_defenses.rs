@@ -1,67 +1,6 @@
-//! Ablation: SOAP versus the §VII-A counter-defenses (proof of work and
-//! rate limiting), quantifying the resilience/recoverability trade-off the
-//! paper leaves open.
-
-use mitigation::defended_soap::{run_defended_soap, DefenseConfig};
-use mitigation::defenses::PeeringRateLimiter;
-use mitigation::soap::SoapConfig;
-use onionbots_bench::Scale;
-use onionbots_core::{DdsrConfig, DdsrOverlay};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Defended-SOAP ablation (thin wrapper): delegates to the
+//! `ablation-soap-defenses` registry scenario.
 
 fn main() {
-    let scale = Scale::from_env();
-    let n = scale.population(1000);
-    let k = 10usize;
-    println!("# Ablation — SOAP against defended OnionBots (n = {n}, k = {k})\n");
-    println!(
-        "{:<28} {:>12} {:>14} {:>18} {:>16} {:>20}",
-        "defense", "neutralized", "clones", "defender hashes", "defender wait(h)", "repair delay(s)/takedown"
-    );
-
-    let configs = [
-        ("none (basic OnionBot)", DefenseConfig::none()),
-        ("rate limiting only", DefenseConfig {
-            pow_base_bits: 0,
-            rate_limiter: PeeringRateLimiter {
-                base_delay_secs: 60,
-                per_peer_delay_secs: 300,
-            },
-        }),
-        ("PoW 10 bits only", DefenseConfig {
-            pow_base_bits: 10,
-            rate_limiter: PeeringRateLimiter {
-                base_delay_secs: 0,
-                per_peer_delay_secs: 0,
-            },
-        }),
-        ("PoW 10 bits + rate limit", DefenseConfig::standard()),
-        ("PoW 16 bits + rate limit", DefenseConfig {
-            pow_base_bits: 16,
-            ..DefenseConfig::standard()
-        }),
-    ];
-
-    for (label, defense) in configs {
-        let mut rng = StdRng::seed_from_u64(1100);
-        let (mut overlay, ids) =
-            DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), &mut rng);
-        let outcome = run_defended_soap(&mut overlay, ids[0], SoapConfig::default(), defense, &mut rng);
-        println!(
-            "{:<28} {:>12} {:>14} {:>18} {:>16.1} {:>20}",
-            label,
-            outcome.soap.neutralized,
-            outcome.soap.clones_created,
-            outcome.defender_hash_evaluations,
-            outcome.defender_wait_secs as f64 / 3600.0,
-            outcome.repair_delay_secs_per_takedown
-        );
-    }
-
-    println!(
-        "\nTake-away: basic PoW and rate limiting do not prevent neutralization of the basic\n\
-         design; they multiply the defender's cost while also taxing the botnet's own repair,\n\
-         which is the recoverability/resilience trade-off §VII-A identifies."
-    );
+    onionbots_bench::scenarios::run_legacy("ablation-soap-defenses");
 }

@@ -1,63 +1,6 @@
-//! Figure 3: step-by-step trace of the self-repair process on a 3-regular
-//! 12-node graph (the paper's worked example). Prints the edges created by
-//! each repair as nodes are deleted one at a time.
-
-use onion_graph::components::component_count;
-use onion_graph::graph::Graph;
-use onionbots_core::{DdsrConfig, DdsrOverlay};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Figure 3 (thin wrapper): delegates to the `fig3` registry scenario.
+//! See `run_experiments` for the full CLI.
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(3);
-    // A 3-regular circulant graph on 12 nodes: i ~ i±1 and i ~ i+6.
-    let (mut g, ids) = Graph::with_nodes(12);
-    for i in 0..12usize {
-        g.add_edge(ids[i], ids[(i + 1) % 12]);
-        g.add_edge(ids[i], ids[(i + 6) % 12]);
-    }
-    let mut overlay = DdsrOverlay::from_graph(g, DdsrConfig::without_pruning(3));
-
-    println!("# Figure 3 — self-repair trace on a 3-regular graph with 12 nodes\n");
-    println!(
-        "step 1: {} nodes, {} edges, {} component(s)",
-        overlay.node_count(),
-        overlay.graph().edge_count(),
-        component_count(overlay.graph())
-    );
-
-    // Delete the same kind of sequence the figure shows (eight steps).
-    let deletions = [7usize, 11, 8, 10, 9, 1, 4, 5];
-    for (step, &victim) in deletions.iter().enumerate() {
-        let neighbors = overlay.peers(ids[victim]).unwrap_or_default();
-        let edges_before = overlay.graph().edge_count();
-        overlay.remove_node_with_repair(ids[victim], &mut rng);
-        let mut new_edges: Vec<String> = Vec::new();
-        for (i, &a) in neighbors.iter().enumerate() {
-            for &b in neighbors.iter().skip(i + 1) {
-                if overlay.graph().has_edge(a, b) {
-                    new_edges.push(format!("({}, {})", a.0, b.0));
-                }
-            }
-        }
-        println!(
-            "step {}: delete node {:>2} -> repair links among {:?}: {} | nodes={} edges={} (was {}) components={}",
-            step + 2,
-            victim,
-            neighbors.iter().map(|n| n.0).collect::<Vec<_>>(),
-            if new_edges.is_empty() {
-                "none needed".to_string()
-            } else {
-                new_edges.join(" ")
-            },
-            overlay.node_count(),
-            overlay.graph().edge_count(),
-            edges_before,
-            component_count(overlay.graph())
-        );
-    }
-    println!(
-        "\nfinal graph remains a single component: {}",
-        component_count(overlay.graph()) == 1
-    );
+    onionbots_bench::scenarios::run_legacy("fig3");
 }

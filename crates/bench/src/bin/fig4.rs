@@ -1,78 +1,6 @@
-//! Figure 4: average closeness centrality (4a/4b) and degree centrality
-//! (4c/4d) of a k-regular overlay (k = 5, 10, 15) under 30% node deletions,
-//! with and without pruning.
-
-use onionbots_bench::Scale;
-use onionbots_core::{DdsrConfig, DdsrOverlay};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::scenario::{gradual_takedown, TakedownMode, TakedownParams};
-use sim::{ExperimentReport, Series};
-
-fn run_variant(
-    n: usize,
-    k: usize,
-    pruning: bool,
-    samples: usize,
-    rng: &mut StdRng,
-) -> (Series, Series) {
-    let config = if pruning {
-        DdsrConfig::for_degree(k)
-    } else {
-        DdsrConfig::without_pruning(k)
-    };
-    let (mut overlay, ids) = DdsrOverlay::new_regular(n, k, config, rng);
-    let deletions = (n as f64 * 0.3) as usize;
-    let params = TakedownParams {
-        deletions,
-        sample_every: (deletions / 15).max(1),
-        metric_samples: samples,
-    };
-    let trace = gradual_takedown(&mut overlay, &ids, TakedownMode::SelfRepairing, params, rng);
-    let x: Vec<f64> = trace.iter().map(|s| s.nodes_deleted as f64).collect();
-    let closeness = Series::new(
-        format!("deg = {k}"),
-        x.clone(),
-        trace.iter().map(|s| s.closeness_centrality).collect(),
-    );
-    let degree = Series::new(
-        format!("deg = {k}"),
-        x,
-        trace.iter().map(|s| s.degree_centrality).collect(),
-    );
-    (closeness, degree)
-}
+//! Figure 4 (thin wrapper): delegates to the `fig4` registry scenario.
+//! Pass `--scale full` (or legacy `full`) for the paper's population.
 
 fn main() {
-    let scale = Scale::from_env();
-    let n = scale.population(5000);
-    let samples = scale.metric_samples();
-    println!("# Figure 4 — centrality under 30% deletions, n = {n} (paper: 5000)\n");
-
-    for (pruning, closeness_id, degree_id) in [
-        (false, "fig4a", "fig4c"),
-        (true, "fig4b", "fig4d"),
-    ] {
-        let mode = if pruning { "with pruning" } else { "without pruning" };
-        let mut closeness_report = ExperimentReport::new(
-            closeness_id,
-            format!("Average closeness centrality ({mode})"),
-            "nodes deleted",
-            "closeness centrality",
-        );
-        let mut degree_report = ExperimentReport::new(
-            degree_id,
-            format!("Average degree centrality ({mode})"),
-            "nodes deleted",
-            "degree centrality",
-        );
-        for k in [5usize, 10, 15] {
-            let mut rng = StdRng::seed_from_u64(4000 + k as u64 + u64::from(pruning));
-            let (closeness, degree) = run_variant(n, k, pruning, samples, &mut rng);
-            closeness_report.push_series(closeness);
-            degree_report.push_series(degree);
-        }
-        println!("{}", closeness_report.to_table());
-        println!("{}", degree_report.to_table());
-    }
+    onionbots_bench::scenarios::run_legacy("fig4");
 }

@@ -1,101 +1,6 @@
-//! Figure 5: connected components (5a/5b), degree centrality (5c/5d) and
-//! diameter (5e/5f) of DDSR versus a normal graph under incremental node
-//! deletions, for 10-regular graphs of 5000 and 15000 nodes.
-
-use onionbots_bench::Scale;
-use onionbots_core::{DdsrConfig, DdsrOverlay};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::scenario::{gradual_takedown, TakedownMode, TakedownParams, TakedownSample};
-use sim::{ExperimentReport, Series};
-
-fn run(n: usize, mode: TakedownMode, samples: usize, seed: u64) -> Vec<TakedownSample> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let k = 10usize;
-    let (mut overlay, ids) = DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), &mut rng);
-    // Delete ~96% of the nodes, sampling along the way (the paper plots all
-    // the way to the right edge).
-    let deletions = n * 96 / 100;
-    let params = TakedownParams {
-        deletions,
-        sample_every: (deletions / 20).max(1),
-        metric_samples: samples,
-    };
-    gradual_takedown(&mut overlay, &ids, mode, params, &mut rng)
-}
+//! Figure 5 (thin wrapper): delegates to the `fig5` registry scenario.
+//! Pass `--scale full` (or legacy `full`) for the paper's population.
 
 fn main() {
-    let scale = Scale::from_env();
-    let samples = scale.metric_samples();
-    println!("# Figure 5 — DDSR vs. normal graph under incremental deletions\n");
-
-    for (paper_n, comp_id, deg_id, diam_id) in [
-        (5000usize, "fig5a", "fig5c", "fig5e"),
-        (15000usize, "fig5b", "fig5d", "fig5f"),
-    ] {
-        let n = scale.population(paper_n);
-        let ddsr = run(n, TakedownMode::SelfRepairing, samples, 5000 + paper_n as u64);
-        let normal = run(n, TakedownMode::Normal, samples, 5000 + paper_n as u64);
-        let x: Vec<f64> = ddsr.iter().map(|s| s.nodes_deleted as f64).collect();
-        let xn: Vec<f64> = normal.iter().map(|s| s.nodes_deleted as f64).collect();
-
-        let mut components = ExperimentReport::new(
-            comp_id,
-            format!("Connected components, n = {n} (paper: {paper_n})"),
-            "nodes deleted",
-            "connected components",
-        );
-        components.push_series(Series::new(
-            "DDSR",
-            x.clone(),
-            ddsr.iter().map(|s| s.connected_components as f64).collect(),
-        ));
-        components.push_series(Series::new(
-            "Normal",
-            xn.clone(),
-            normal.iter().map(|s| s.connected_components as f64).collect(),
-        ));
-        println!("{}", components.to_table());
-
-        let mut degree = ExperimentReport::new(
-            deg_id,
-            format!("Degree centrality, n = {n} (paper: {paper_n})"),
-            "nodes deleted",
-            "degree centrality",
-        );
-        degree.push_series(Series::new(
-            "DDSR",
-            x.clone(),
-            ddsr.iter().map(|s| s.degree_centrality).collect(),
-        ));
-        degree.push_series(Series::new(
-            "Normal",
-            xn.clone(),
-            normal.iter().map(|s| s.degree_centrality).collect(),
-        ));
-        println!("{}", degree.to_table());
-
-        let mut diameter = ExperimentReport::new(
-            diam_id,
-            format!("Diameter of the largest component, n = {n} (paper: {paper_n})"),
-            "nodes deleted",
-            "diameter",
-        );
-        diameter.push_series(Series::new(
-            "DDSR",
-            x,
-            ddsr.iter()
-                .map(|s| s.diameter.unwrap_or(0) as f64)
-                .collect(),
-        ));
-        diameter.push_series(Series::new(
-            "Normal",
-            xn,
-            normal
-                .iter()
-                .map(|s| s.diameter.unwrap_or(0) as f64)
-                .collect(),
-        ));
-        println!("{}", diameter.to_table());
-    }
+    onionbots_bench::scenarios::run_legacy("fig5");
 }

@@ -1,44 +1,6 @@
-//! Figure 6: number of simultaneous node deletions needed to partition a
-//! 10-regular graph, for sizes n = 1000 .. 15000. The paper reports the
-//! threshold tracks roughly 40% of the nodes (the `f(x) = 0.4x` reference
-//! line).
-
-use onionbots_bench::Scale;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::scenario::partition_threshold;
-use sim::{ExperimentReport, Series};
+//! Figure 6 (thin wrapper): delegates to the `fig6` registry scenario.
+//! Pass `--scale full` (or legacy `full`) for the paper's population.
 
 fn main() {
-    let scale = Scale::from_env();
-    println!("# Figure 6 — simultaneous deletions needed to partition a 10-regular graph\n");
-
-    let paper_sizes: Vec<usize> = (1..=15).map(|i| i * 1000).collect();
-    let mut x = Vec::new();
-    let mut measured = Vec::new();
-    let mut reference = Vec::new();
-    for paper_n in paper_sizes {
-        let n = scale.population(paper_n);
-        let mut rng = StdRng::seed_from_u64(6000 + paper_n as u64);
-        let threshold = partition_threshold(n, 10, (n / 100).max(1), &mut rng);
-        x.push(n as f64);
-        measured.push(threshold.deletions_to_partition as f64);
-        reference.push(0.4 * n as f64);
-        println!(
-            "n = {:>6}: partitioned after {:>6} deletions ({:.1}% of nodes)",
-            n,
-            threshold.deletions_to_partition,
-            threshold.fraction() * 100.0
-        );
-    }
-
-    let mut report = ExperimentReport::new(
-        "fig6",
-        "Deletions needed to partition (10-regular)",
-        "nodes",
-        "nodes deleted",
-    );
-    report.push_series(Series::new("Graph", x.clone(), measured));
-    report.push_series(Series::new("f(x) = 0.4x", x, reference));
-    println!("\n{}", report.to_table());
+    onionbots_bench::scenarios::run_legacy("fig6");
 }

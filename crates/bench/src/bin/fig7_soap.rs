@@ -1,76 +1,6 @@
-//! Figure 7: the SOAP (soaping) attack — clones of a compromised node
-//! gradually surround each bot until the botnet is partitioned into
-//! contained nodes. Prints the containment trace and the final outcome, plus
-//! an ablation with the proof-of-work / rate-limiting counter-defenses.
-
-use mitigation::defenses::{PeeringRateLimiter, PowChallenge};
-use mitigation::soap::{SoapAttack, SoapConfig};
-use onionbots_bench::Scale;
-use onionbots_core::{DdsrConfig, DdsrOverlay};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::{ExperimentReport, Series};
+//! Figure 7 (thin wrapper): delegates to the `fig7` registry scenario.
+//! Pass `--scale full` (or legacy `full`) for the paper's population.
 
 fn main() {
-    let scale = Scale::from_env();
-    let n = scale.population(1000);
-    let k = 10usize;
-    let mut rng = StdRng::seed_from_u64(7);
-
-    println!("# Figure 7 — SOAP containment of a basic OnionBot (n = {n}, k = {k})\n");
-    let (mut overlay, ids) = DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), &mut rng);
-    let mut attack = SoapAttack::new(SoapConfig::default(), ids[0]);
-    let outcome = attack.run(&mut overlay, &mut rng);
-
-    let mut report = ExperimentReport::new(
-        "fig7",
-        "SOAP campaign progress",
-        "iteration",
-        "bots",
-    );
-    report.push_series(Series::new(
-        "contained bots",
-        outcome.trace.iter().map(|p| p.iteration as f64).collect(),
-        outcome.trace.iter().map(|p| p.contained_bots as f64).collect(),
-    ));
-    report.push_series(Series::new(
-        "discovered bots",
-        outcome.trace.iter().map(|p| p.iteration as f64).collect(),
-        outcome.trace.iter().map(|p| p.discovered_bots as f64).collect(),
-    ));
-    report.push_series(Series::new(
-        "clones created",
-        outcome.trace.iter().map(|p| p.iteration as f64).collect(),
-        outcome.trace.iter().map(|p| p.clones_created as f64).collect(),
-    ));
-    println!("{}", report.to_table());
-    println!(
-        "botnet neutralized: {} (iterations = {}, clones = {})\n",
-        outcome.neutralized, outcome.iterations, outcome.clones_created
-    );
-
-    // Ablation: the paper's anticipated counter-defenses raise the cost of
-    // each clone acceptance.
-    println!("## Counter-defense costs (§VII-A)\n");
-    let limiter = PeeringRateLimiter {
-        base_delay_secs: 60,
-        per_peer_delay_secs: 300,
-    };
-    let clones_per_bot = (outcome.clones_created as f64 / outcome.trace.last().map_or(1.0, |p| p.discovered_bots.max(1) as f64)).ceil() as usize;
-    println!(
-        "rate limiting: accepting {clones_per_bot} clones at one bot costs {} simulated hours (vs {} hours for its initial {k} rallies)",
-        limiter.total_delay(k, clones_per_bot) / 3600,
-        limiter.total_delay(0, k) / 3600
-    );
-    for difficulty in [8u32, 12, 16] {
-        let challenge = PowChallenge {
-            challenge: b"peer-with-me".to_vec(),
-            difficulty_bits: difficulty,
-        };
-        let cost = challenge.solve(u64::MAX >> 16).map(|(_, c)| c).unwrap_or(0);
-        println!(
-            "proof of work at {difficulty} bits: ~{cost} hash evaluations per clone, ~{} per contained bot",
-            cost * clones_per_bot as u64
-        );
-    }
+    onionbots_bench::scenarios::run_legacy("fig7");
 }

@@ -1,58 +1,5 @@
-//! Figure 8: the SuperOnion construction (n = 5 hosts, m = 3 virtual nodes,
-//! i = 2 peers) and its recovery behaviour when virtual nodes are soaped.
-
-use mitigation::superonion::{HostId, SuperOnion, SuperOnionConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Figure 8 (thin wrapper): delegates to the `fig8` registry scenario.
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(8);
-    let config = SuperOnionConfig::figure8();
-    let mut so = SuperOnion::build(config, &mut rng);
-
-    println!(
-        "# Figure 8 — SuperOnion construction with n = {}, m = {}, i = {}\n",
-        config.hosts, config.virtual_per_host, config.peers_per_virtual
-    );
-    println!(
-        "virtual nodes: {}, edges: {}",
-        so.virtual_node_count(),
-        so.graph().edge_count()
-    );
-    for h in 0..config.hosts {
-        let host = HostId(h);
-        let probe = so.probe(host);
-        println!(
-            "host {h}: virtual nodes {:?}, probe reachable {}/{}, gossip messages {}",
-            so.virtual_nodes(host).iter().map(|v| v.0).collect::<Vec<_>>(),
-            probe.reachable.len(),
-            config.virtual_per_host,
-            probe.messages
-        );
-    }
-
-    println!("\n## Soaping campaign against host 0's virtual nodes\n");
-    let host = HostId(0);
-    let virtuals = so.virtual_nodes(host);
-    for (i, &victim) in virtuals.iter().enumerate() {
-        so.soap_virtual_node(victim);
-        let probe = so.probe(host);
-        println!(
-            "after soaping {} virtual node(s): reachable {}/{} -> host operational: {}",
-            i + 1,
-            probe.reachable.len(),
-            config.virtual_per_host,
-            so.host_operational(host)
-        );
-    }
-
-    println!("\n## Recovery (re-bootstrap of soaped virtual nodes)\n");
-    let replaced = so.recover(host, &mut rng);
-    let probe = so.probe(host);
-    println!(
-        "host 0 replaced {replaced} virtual node(s); probe now reaches {}/{} -> operational: {}",
-        probe.reachable.len(),
-        config.virtual_per_host,
-        so.host_operational(host)
-    );
+    onionbots_bench::scenarios::run_legacy("fig8");
 }

@@ -1,0 +1,241 @@
+//! Unified experiment runner over the scenario registry.
+//!
+//! ```text
+//! run_experiments --list
+//! run_experiments --only fig4,fig7 --scale full --jobs 8 --out results/
+//! ```
+//!
+//! Selected scenarios (default: all) run through the parallel
+//! [`sim::Runner`]; results render to stdout (`--format table|csv|json`)
+//! and, with `--out DIR`, to per-report `.json`/`.csv` files plus a
+//! `summary.json`. Reports are deterministic for a given `--seed`
+//! regardless of `--jobs`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use onionbots_bench::scenarios;
+use onionbots_bench::Scale;
+use sim::experiment::{CsvDirSink, JsonDirSink, ReportSink, TableSink};
+use sim::scenario_api::ScenarioParams;
+use sim::Runner;
+
+struct Options {
+    list: bool,
+    only: Vec<String>,
+    scale: Scale,
+    jobs: usize,
+    seed: u64,
+    out: Option<String>,
+    format: Format,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Csv,
+    Json,
+}
+
+const USAGE: &str = "\
+Usage: run_experiments [options]
+
+Options:
+  --list              list registered scenarios and exit
+  --only ID[,ID...]   run only the named scenarios (repeatable)
+  --scale quick|full  population scale (default: quick; env ONIONBOTS_FULL=1)
+  --jobs N            worker threads (default: 1)
+  --seed N            base RNG seed (default: 2015)
+  --out DIR           also write per-report .json/.csv files and summary.json
+  --format FMT        stdout rendering: table (default), csv, json
+  --help              show this help
+";
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        list: false,
+        only: Vec::new(),
+        scale: Scale::from_env(),
+        jobs: 1,
+        seed: ScenarioParams::default().seed,
+        out: None,
+        format: Format::Table,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
+        // Scale spellings are matched by the same helper the legacy
+        // binaries use, so the two front ends cannot drift apart.
+        if let Some((scale, consumed_value)) =
+            Scale::match_flag(arg, args.get(i).map(String::as_str))?
+        {
+            options.scale = scale;
+            i += usize::from(consumed_value);
+            continue;
+        }
+        let mut value_for = |name: &str| -> Result<String, String> {
+            let value = args
+                .get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"));
+            i += 1;
+            value
+        };
+        match arg.as_str() {
+            "--list" => options.list = true,
+            "--only" => {
+                let value = value_for("--only")?;
+                options.only.extend(
+                    value
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            "--jobs" => {
+                let value = value_for("--jobs")?;
+                options.jobs = value
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value '{value}'"))?;
+            }
+            "--seed" => {
+                let value = value_for("--seed")?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value '{value}'"))?;
+            }
+            "--out" => options.out = Some(value_for("--out")?),
+            "--format" => {
+                let value = value_for("--format")?;
+                options.format = match value.as_str() {
+                    "table" => Format::Table,
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown --format '{other}'")),
+                };
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            // Legacy positional scale word: only valid as the leading
+            // argument (mirrors Scale::from_args).
+            "full" if i == 1 => options.scale = Scale::Full,
+            "quick" if i == 1 => options.scale = Scale::Quick,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = scenarios::registry();
+    if options.list {
+        let params = ScenarioParams::default();
+        println!("{} registered scenarios:\n", registry.len());
+        for scenario in registry.iter() {
+            println!(
+                "  {:<24} {:>2} part(s)  {}",
+                scenario.id(),
+                scenario.parts(&params),
+                scenario.title()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected = match registry.select(&options.only) {
+        Ok(selected) => selected,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let params = ScenarioParams {
+        full_scale: options.scale.is_full(),
+        seed: options.seed,
+        ..ScenarioParams::default()
+    };
+    eprintln!(
+        "running {} scenario(s) at {:?} scale with {} job(s), seed {}",
+        selected.len(),
+        options.scale,
+        options.jobs,
+        params.seed
+    );
+    let started = Instant::now();
+    let summary = Runner::new(params).jobs(options.jobs).run(&selected);
+    let elapsed = started.elapsed();
+
+    let mut sinks: Vec<Box<dyn ReportSink>> = Vec::new();
+    match options.format {
+        Format::Table => sinks.push(Box::new(TableSink::new(std::io::stdout()))),
+        Format::Csv | Format::Json => {}
+    }
+    if let Some(dir) = &options.out {
+        match (JsonDirSink::new(dir), CsvDirSink::new(dir)) {
+            (Ok(json), Ok(csv)) => {
+                sinks.push(Box::new(json));
+                sinks.push(Box::new(csv));
+            }
+            (Err(error), _) | (_, Err(error)) => {
+                eprintln!("error: cannot create output directory {dir}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut stdout = std::io::stdout();
+    for outcome in &summary.outcomes {
+        for report in &outcome.reports {
+            match options.format {
+                Format::Csv => {
+                    let _ = writeln!(stdout, "# {}\n{}", report.id, report.to_csv());
+                }
+                Format::Json => {
+                    let _ = writeln!(stdout, "{}", report.to_json());
+                }
+                Format::Table => {}
+            }
+            for sink in &mut sinks {
+                if let Err(error) = sink.write_report(&outcome.scenario_id, report) {
+                    eprintln!("error: writing report {}: {error}", report.id);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    for sink in &mut sinks {
+        if let Err(error) = sink.finish() {
+            eprintln!("error: flushing output: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &options.out {
+        let path = std::path::Path::new(dir).join("summary.json");
+        if let Err(error) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("error: writing {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "completed {} scenario(s), {} report(s) in {:.2}s",
+        summary.outcomes.len(),
+        summary.report_count(),
+        elapsed.as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

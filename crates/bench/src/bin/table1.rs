@@ -1,13 +1,5 @@
-//! Table I: cryptographic use in different botnet families, plus the
-//! OnionBot design row for contrast.
-
-use botnet::crypto_catalog::{onionbot_row, render_table, table_one};
+//! Table I (thin wrapper): delegates to the `table1` registry scenario.
 
 fn main() {
-    println!("# Table I — cryptographic use in different botnets\n");
-    println!("{}", render_table(&table_one()));
-    println!("# With the OnionBot design for comparison\n");
-    let mut rows = table_one();
-    rows.push(onionbot_row());
-    println!("{}", render_table(&rows));
+    onionbots_bench::scenarios::run_legacy("table1");
 }

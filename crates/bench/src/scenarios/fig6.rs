@@ -1,0 +1,94 @@
+//! Figure 6: number of simultaneous node deletions needed to partition a
+//! 10-regular graph, for sizes n = 1000 .. 15000. The paper reports the
+//! threshold tracks roughly 40% of the nodes (the `f(x) = 0.4x` reference
+//! line).
+
+use rand::rngs::StdRng;
+use sim::experiment::{ExperimentReport, Series};
+use sim::scenario::partition_threshold;
+use sim::scenario_api::{Scenario, ScenarioParams};
+
+use crate::Scale;
+
+const STEPS: usize = 15;
+
+/// The Figure 6 scenario; one part per graph size, merged point-wise.
+pub struct PartitionThreshold;
+
+impl Scenario for PartitionThreshold {
+    fn id(&self) -> &str {
+        "fig6"
+    }
+
+    fn title(&self) -> &str {
+        "Figure 6 — simultaneous deletions needed to partition a 10-regular graph"
+    }
+
+    fn parts(&self, _params: &ScenarioParams) -> usize {
+        STEPS
+    }
+
+    fn run_part(
+        &self,
+        part: usize,
+        params: &ScenarioParams,
+        rng: &mut StdRng,
+    ) -> Vec<ExperimentReport> {
+        let paper_n = (part + 1) * 1000;
+        let n = Scale::from_params(params).population(paper_n);
+        let threshold = partition_threshold(n, 10, (n / 100).max(1), rng);
+
+        let mut report = ExperimentReport::new(
+            "fig6",
+            "Deletions needed to partition (10-regular)",
+            "nodes",
+            "nodes deleted",
+        );
+        report.push_series(Series::new(
+            "Graph",
+            vec![n as f64],
+            vec![threshold.deletions_to_partition as f64],
+        ));
+        report.push_series(Series::new(
+            "f(x) = 0.4x",
+            vec![n as f64],
+            vec![0.4 * n as f64],
+        ));
+        report.push_note(format!(
+            "n = {:>6}: partitioned after {:>6} deletions ({:.1}% of nodes)",
+            n,
+            threshold.deletions_to_partition,
+            threshold.fraction() * 100.0
+        ));
+        vec![report]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_merge_into_one_report_with_all_sizes() {
+        let reports = PartitionThreshold.run(&ScenarioParams::default());
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.series.len(), 2);
+        assert_eq!(report.series[0].len(), STEPS);
+        assert_eq!(report.notes.len(), STEPS);
+        // Sizes ascend because parts merge in part order.
+        let xs = &report.series[0].x;
+        assert!(
+            xs.windows(2).all(|w| w[0] <= w[1]),
+            "sizes in order: {xs:?}"
+        );
+        // Thresholds stay in a plausible band around the 40% line.
+        for (x, y) in report.series[0].x.iter().zip(&report.series[0].y) {
+            let fraction = y / x;
+            assert!(
+                (0.2..0.95).contains(&fraction),
+                "n = {x}: fraction {fraction}"
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The registered paper scenarios.
+//!
+//! Each submodule ports one former stand-alone binary into a
+//! [`Scenario`](sim::scenario_api::Scenario): Figures 3–8, Table I and the
+//! two ablations. [`registry`] returns them all; the legacy figure
+//! binaries call [`run_legacy`] and the `run_experiments` binary drives
+//! the registry through the parallel [`sim::Runner`].
+
+pub mod ablation_non;
+pub mod ablation_soap;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+
+use sim::scenario_api::{ScenarioParams, ScenarioRegistry};
+
+use crate::Scale;
+
+/// Builds the registry holding every paper scenario, in paper order.
+pub fn registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry
+        .register(fig3::RepairTrace)
+        .register(fig4::CentralityUnderTakedown)
+        .register(fig5::DdsrVersusNormal)
+        .register(fig6::PartitionThreshold)
+        .register(fig7::SoapCampaign)
+        .register(fig8::SuperOnionRecovery)
+        .register(table1::CryptoCatalog)
+        .register(ablation_non::NonLookahead)
+        .register(ablation_soap::SoapDefenses);
+    registry
+}
+
+/// Entry point for the thin legacy figure binaries: parses the scale from
+/// the binary's own arguments (plus the `ONIONBOTS_FULL` environment
+/// fallback), runs the named scenario sequentially and prints each report
+/// as a table.
+///
+/// # Panics
+/// Panics if `id` is not registered — the legacy binaries only name
+/// registry ids.
+pub fn run_legacy(id: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match Scale::from_args(&args) {
+        Ok(scale) => scale,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let params = ScenarioParams {
+        full_scale: scale.is_full(),
+        ..ScenarioParams::default()
+    };
+    let scenario = registry()
+        .get(id)
+        .unwrap_or_else(|| panic!("scenario '{id}' is not registered"));
+    println!("# {} ({})\n", scenario.title(), scenario.id());
+    for report in scenario.run(&params) {
+        println!("{}", report.to_table());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_every_paper_scenario_exactly_once() {
+        let registry = registry();
+        let ids = registry.ids();
+        let expected = [
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table1",
+            "ablation-non",
+            "ablation-soap-defenses",
+        ];
+        assert_eq!(ids, expected);
+        let mut dedup: Vec<&str> = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "ids are unique");
+        assert!(registry.len() >= 9);
+    }
+
+    #[test]
+    fn every_scenario_reports_at_least_one_part() {
+        let params = ScenarioParams::default();
+        for scenario in registry().iter() {
+            assert!(
+                scenario.parts(&params) >= 1,
+                "{} has no parts",
+                scenario.id()
+            );
+            assert!(!scenario.title().is_empty());
+        }
+    }
+}

@@ -138,7 +138,11 @@ mod tests {
             inclusion_probability: 0.3,
         };
         let selected = strategy.initial_peers(&peers, &mut rng);
-        assert!((200..400).contains(&selected.len()), "got {}", selected.len());
+        assert!(
+            (200..400).contains(&selected.len()),
+            "got {}",
+            selected.len()
+        );
         for p in &selected {
             assert!(peers.contains(p));
         }

@@ -74,7 +74,12 @@ impl Botmaster {
     }
 
     /// Signs a command as the botmaster (no rental token).
-    pub fn issue(&mut self, command: CommandKind, audience: Audience, now_secs: u64) -> SignedCommand {
+    pub fn issue(
+        &mut self,
+        command: CommandKind,
+        audience: Audience,
+        now_secs: u64,
+    ) -> SignedCommand {
         let sequence = self.next_sequence;
         self.next_sequence += 1;
         SignedCommand::sign(&self.keypair, command, audience, sequence, now_secs, None)
@@ -88,7 +93,12 @@ impl Botmaster {
         expires_at_secs: u64,
         whitelisted_commands: Vec<String>,
     ) -> RentalToken {
-        RentalToken::issue(&self.keypair, renter_key, expires_at_secs, whitelisted_commands)
+        RentalToken::issue(
+            &self.keypair,
+            renter_key,
+            expires_at_secs,
+            whitelisted_commands,
+        )
     }
 
     /// Reserves the next command sequence number for a renter-issued

@@ -38,9 +38,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bootstrap;
 pub mod bot;
 pub mod botmaster;
-pub mod bootstrap;
 pub mod crypto_catalog;
 pub mod lifecycle;
 pub mod messages;

@@ -184,8 +184,8 @@ impl SignedCommand {
         encoder: &UniformEncoder,
         rng: &mut R,
     ) -> Result<Vec<u8>, CryptoError> {
-        let bytes = serde_json::to_vec(self)
-            .map_err(|e| CryptoError::InvalidEncoding(e.to_string()))?;
+        let bytes =
+            serde_json::to_vec(self).map_err(|e| CryptoError::InvalidEncoding(e.to_string()))?;
         encoder.encode(&bytes, rng)
     }
 
@@ -282,7 +282,14 @@ mod tests {
         let master = keypair(6);
         let mut rng = StdRng::seed_from_u64(7);
         let encoder = UniformEncoder::new([9u8; 32]);
-        let small = SignedCommand::sign(&master, CommandKind::Maintenance, Audience::Broadcast, 1, 5, None);
+        let small = SignedCommand::sign(
+            &master,
+            CommandKind::Maintenance,
+            Audience::Broadcast,
+            1,
+            5,
+            None,
+        );
         let large = SignedCommand::sign(
             &master,
             CommandKind::SimulatedSpam {
@@ -295,9 +302,19 @@ mod tests {
         );
         let cell_small = small.to_cell(&encoder, &mut rng).unwrap();
         let cell_large = large.to_cell(&encoder, &mut rng).unwrap();
-        assert_eq!(cell_small.len(), cell_large.len(), "cells are indistinguishable by size");
-        assert_eq!(SignedCommand::from_cell(&encoder, &cell_small).unwrap(), small);
-        assert_eq!(SignedCommand::from_cell(&encoder, &cell_large).unwrap(), large);
+        assert_eq!(
+            cell_small.len(),
+            cell_large.len(),
+            "cells are indistinguishable by size"
+        );
+        assert_eq!(
+            SignedCommand::from_cell(&encoder, &cell_small).unwrap(),
+            small
+        );
+        assert_eq!(
+            SignedCommand::from_cell(&encoder, &cell_large).unwrap(),
+            large
+        );
     }
 
     #[test]

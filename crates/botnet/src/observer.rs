@@ -181,7 +181,10 @@ mod tests {
 
         let summary = observer.summarize();
         assert!(summary.total_cells > 0);
-        assert_eq!(summary.distinct_sizes, 1, "both commands look identical on the wire");
+        assert_eq!(
+            summary.distinct_sizes, 1,
+            "both commands look identical on the wire"
+        );
         assert_eq!(summary.size_entropy_bits, 0.0);
     }
 }

@@ -102,7 +102,10 @@ mod tests {
         );
         assert!(token.verify(master.public(), 999));
         assert!(token.verify(master.public(), 1_000));
-        assert!(!token.verify(master.public(), 1_001), "expired tokens are rejected");
+        assert!(
+            !token.verify(master.public(), 1_001),
+            "expired tokens are rejected"
+        );
     }
 
     #[test]

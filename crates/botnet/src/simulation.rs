@@ -318,7 +318,9 @@ impl BotnetSimulation {
             by_node.insert(node, id);
         }
         for id in self.bot_ids() {
-            let Some(bot) = self.bots.get(&id) else { continue };
+            let Some(bot) = self.bots.get(&id) else {
+                continue;
+            };
             for peer_addr in bot.peers() {
                 if let Some(peer_id) = self.address_index.get(&peer_addr) {
                     if let (Some(&a), Some(&b)) = (by_bot.get(&id), by_bot.get(peer_id)) {
@@ -427,13 +429,17 @@ mod tests {
         assert_eq!(sim.bot_count(), 12);
         let report = sim.broadcast_command(CommandKind::Maintenance, 2, &mut rng);
         assert!(report.bots_reached <= 12);
-        assert!(report.messages_failed > 0, "deliveries to removed peers fail");
+        assert!(
+            report.messages_failed > 0,
+            "deliveries to removed peers fail"
+        );
     }
 
     #[test]
     fn sequence_numbers_prevent_replaying_old_commands() {
         let (mut sim, mut rng) = small_botnet(4, 8, 3);
-        let first = sim.broadcast_command(CommandKind::SimulatedCompute { work_units: 3 }, 1, &mut rng);
+        let first =
+            sim.broadcast_command(CommandKind::SimulatedCompute { work_units: 3 }, 1, &mut rng);
         assert_eq!(first.bots_executed, 8);
         // Replay the same signed command object: every bot rejects it.
         let replay = sim
@@ -441,7 +447,10 @@ mod tests {
             .issue(CommandKind::Maintenance, Audience::Broadcast, 0);
         let _ = sim.propagate(&replay, 1, &mut rng);
         let second = sim.propagate(&replay, 1, &mut rng);
-        assert_eq!(second.bots_executed, 0, "replayed sequence numbers are rejected");
+        assert_eq!(
+            second.bots_executed, 0,
+            "replayed sequence numbers are rejected"
+        );
     }
 
     #[test]
@@ -471,7 +480,11 @@ mod tests {
         assert_eq!(by_node.len(), 10);
         // Every bot has at least its k rally peers reflected as edges.
         for node in graph.nodes() {
-            assert!(graph.degree(node).unwrap() >= 3, "bot {:?} under-connected", by_node[&node]);
+            assert!(
+                graph.degree(node).unwrap() >= 3,
+                "bot {:?} under-connected",
+                by_node[&node]
+            );
         }
         graph.check_invariants().unwrap();
     }

@@ -214,10 +214,16 @@ mod tests {
             ..DefenseConfig::standard()
         };
         let (mut ov_a, ids_a, mut rng_a) = overlay(4);
-        let weak_outcome = run_defended_soap(&mut ov_a, ids_a[0], SoapConfig::default(), weak, &mut rng_a);
+        let weak_outcome =
+            run_defended_soap(&mut ov_a, ids_a[0], SoapConfig::default(), weak, &mut rng_a);
         let (mut ov_b, ids_b, mut rng_b) = overlay(4);
-        let strong_outcome =
-            run_defended_soap(&mut ov_b, ids_b[0], SoapConfig::default(), strong, &mut rng_b);
+        let strong_outcome = run_defended_soap(
+            &mut ov_b,
+            ids_b[0],
+            SoapConfig::default(),
+            strong,
+            &mut rng_b,
+        );
         assert!(
             strong_outcome.defender_hash_evaluations > weak_outcome.defender_hash_evaluations * 10
         );

@@ -27,8 +27,13 @@ pub struct PowChallenge {
 impl PowChallenge {
     /// Creates a challenge with difficulty scaled to how many peering
     /// requests the node has recently received: `base + log2(1 + requests)`.
-    pub fn for_request_load(challenge: Vec<u8>, base_difficulty: u32, recent_requests: u64) -> Self {
-        let scaled = base_difficulty + (64 - (recent_requests + 1).leading_zeros()).saturating_sub(1);
+    pub fn for_request_load(
+        challenge: Vec<u8>,
+        base_difficulty: u32,
+        recent_requests: u64,
+    ) -> Self {
+        let scaled =
+            base_difficulty + (64 - (recent_requests + 1).leading_zeros()).saturating_sub(1);
         PowChallenge {
             challenge,
             difficulty_bits: scaled,
@@ -116,7 +121,9 @@ mod tests {
         let (nonce, cost) = challenge.solve(1_000_000).expect("8 bits is easy");
         assert!(challenge.verify(nonce));
         assert!(cost >= 1);
-        assert!(!challenge.verify(nonce.wrapping_add(1)) || challenge.verify(nonce.wrapping_add(1)));
+        assert!(
+            !challenge.verify(nonce.wrapping_add(1)) || challenge.verify(nonce.wrapping_add(1))
+        );
     }
 
     #[test]
@@ -137,7 +144,10 @@ mod tests {
             easy_total += easy.solve(1 << 22).unwrap().1;
             hard_total += hard.solve(1 << 22).unwrap().1;
         }
-        assert!(hard_total > easy_total, "easy {easy_total}, hard {hard_total}");
+        assert!(
+            hard_total > easy_total,
+            "easy {easy_total}, hard {hard_total}"
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ mod tests {
         // upcoming period).
         let future = network.time_secs() + 26 * 3600;
         let plan = plan_takeover(target, future, 1_000_000, &mut rng);
-        assert_eq!(plan.planted_fingerprints.len(), 6, "3 HSDirs per replica, 2 replicas");
+        assert_eq!(
+            plan.planted_fingerprints.len(),
+            6,
+            "3 HSDirs per replica, 2 replicas"
+        );
 
         let responsible = execute_takeover(&mut network, &plan);
         assert!(

@@ -286,8 +286,7 @@ mod tests {
             }
             let report = onionbots_core::routing::flood_broadcast(ov.graph(), bot);
             let real_reached = report.reached
-                - ov
-                    .graph()
+                - ov.graph()
                     .nodes()
                     .iter()
                     .filter(|n| attack.clones().contains(n))

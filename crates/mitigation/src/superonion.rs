@@ -95,7 +95,12 @@ impl SuperOnion {
         overlay
     }
 
-    fn peer_virtual_node<R: Rng + ?Sized>(&mut self, v: NodeId, candidates: &[NodeId], rng: &mut R) {
+    fn peer_virtual_node<R: Rng + ?Sized>(
+        &mut self,
+        v: NodeId,
+        candidates: &[NodeId],
+        rng: &mut R,
+    ) {
         let my_host = self.owner[&v];
         let mut foreign: Vec<NodeId> = candidates
             .iter()
@@ -289,7 +294,10 @@ mod tests {
         let replaced = so.recover(host, &mut rng);
         assert_eq!(replaced, 1);
         assert_eq!(so.virtual_nodes(host).len(), 3);
-        assert!(so.probe(host).unreachable.is_empty(), "recovered host is healthy again");
+        assert!(
+            so.probe(host).unreachable.is_empty(),
+            "recovered host is healthy again"
+        );
     }
 
     #[test]
@@ -304,7 +312,10 @@ mod tests {
             "one healthy virtual node keeps the host in the botnet"
         );
         so.soap_virtual_node(virtuals[2]);
-        assert!(!so.host_operational(host), "soaping all m virtual nodes isolates the host");
+        assert!(
+            !so.host_operational(host),
+            "soaping all m virtual nodes isolates the host"
+        );
     }
 
     #[test]

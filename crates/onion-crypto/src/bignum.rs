@@ -165,7 +165,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (`0` for zero).
@@ -180,9 +180,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 32;
         let off = i % 32;
-        self.limbs
-            .get(limb)
-            .map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to one, growing the representation if necessary.
@@ -671,8 +669,7 @@ mod tests {
         for _ in 0..200 {
             let a: u128 = rng.gen();
             let b: u64 = rng.gen_range(1..u64::MAX);
-            let (q, r) = BigUint::from_bytes_be(&a.to_be_bytes())
-                .div_rem(&BigUint::from_u64(b));
+            let (q, r) = BigUint::from_bytes_be(&a.to_be_bytes()).div_rem(&BigUint::from_u64(b));
             let expected_q = a / u128::from(b);
             let expected_r = a % u128::from(b);
             assert_eq!(q, BigUint::from_bytes_be(&expected_q.to_be_bytes()));
@@ -730,10 +727,7 @@ mod tests {
         // 4^13 mod 497 = 445 (classic textbook example).
         assert_eq!(base.mod_exp(&exp, &modulus).to_u64(), Some(445));
         // Anything to the zero power is 1.
-        assert_eq!(
-            base.mod_exp(&BigUint::zero(), &modulus).to_u64(),
-            Some(1)
-        );
+        assert_eq!(base.mod_exp(&BigUint::zero(), &modulus).to_u64(), Some(1));
         // Modulus one collapses everything to zero.
         assert_eq!(base.mod_exp(&exp, &BigUint::one()).to_u64(), Some(0));
     }
@@ -763,7 +757,9 @@ mod tests {
         assert_eq!((&e * &inv).rem_ref(&m).to_u64(), Some(1));
 
         // Non-invertible case.
-        assert!(BigUint::from_u64(6).mod_inverse(&BigUint::from_u64(9)).is_none());
+        assert!(BigUint::from_u64(6)
+            .mod_inverse(&BigUint::from_u64(9))
+            .is_none());
     }
 
     #[test]

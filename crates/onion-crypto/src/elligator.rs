@@ -136,7 +136,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let enc = UniformEncoder::new([1u8; 32]);
         let payload = vec![0u8; MAX_PAYLOAD_LEN + 1];
-        assert_eq!(enc.encode(&payload, &mut rng), Err(CryptoError::MessageTooLarge));
+        assert_eq!(
+            enc.encode(&payload, &mut rng),
+            Err(CryptoError::MessageTooLarge)
+        );
     }
 
     #[test]
@@ -156,7 +159,10 @@ mod tests {
         let enc = UniformEncoder::new([2u8; 32]);
         let a = enc.encode(b"ping", &mut rng).unwrap();
         let b = enc
-            .encode(b"ddos example.com starting at 2015-01-14T00:00:00Z with 10k rps", &mut rng)
+            .encode(
+                b"ddos example.com starting at 2015-01-14T00:00:00Z with 10k rps",
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(a.len(), b.len());
     }

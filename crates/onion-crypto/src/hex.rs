@@ -23,7 +23,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// Returns [`CryptoError::InvalidEncoding`] when the input has odd length or
 /// contains non-hex characters.
 pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidEncoding(
             "hex string must have even length".to_string(),
         ));
@@ -31,12 +31,12 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
     let chars: Vec<char> = s.chars().collect();
     let mut out = Vec::with_capacity(s.len() / 2);
     for pair in chars.chunks(2) {
-        let hi = pair[0]
-            .to_digit(16)
-            .ok_or_else(|| CryptoError::InvalidEncoding(format!("invalid hex char {:?}", pair[0])))?;
-        let lo = pair[1]
-            .to_digit(16)
-            .ok_or_else(|| CryptoError::InvalidEncoding(format!("invalid hex char {:?}", pair[1])))?;
+        let hi = pair[0].to_digit(16).ok_or_else(|| {
+            CryptoError::InvalidEncoding(format!("invalid hex char {:?}", pair[0]))
+        })?;
+        let lo = pair[1].to_digit(16).ok_or_else(|| {
+            CryptoError::InvalidEncoding(format!("invalid hex char {:?}", pair[1]))
+        })?;
         out.push(((hi << 4) | lo) as u8);
     }
     Ok(out)

@@ -84,7 +84,10 @@ mod tests {
     fn rfc2202_sha1_test_case_2() {
         // HMAC-SHA1, key = "Jefe", data = "what do ya want for nothing?"
         let tag = hmac::<Sha1>(b"Jefe", b"what do ya want for nothing?");
-        assert_eq!(hex::encode(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+        assert_eq!(
+            hex::encode(&tag),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
     }
 
     #[test]

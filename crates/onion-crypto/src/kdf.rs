@@ -99,7 +99,9 @@ mod tests {
     fn different_periods_give_different_secrets() {
         let cc = cc_key(2);
         let k_b = [9u8; 32];
-        let secrets: Vec<[u8; 32]> = (0..10).map(|p| derive_period_secret(cc.public(), &k_b, p)).collect();
+        let secrets: Vec<[u8; 32]> = (0..10)
+            .map(|p| derive_period_secret(cc.public(), &k_b, p))
+            .collect();
         for i in 0..secrets.len() {
             for j in i + 1..secrets.len() {
                 assert_ne!(secrets[i], secrets[j], "periods {i} and {j} collided");

@@ -108,7 +108,10 @@ impl RsaPublicKey {
                     "truncated rsa key body".to_string(),
                 ));
             }
-            Ok((BigUint::from_bytes_be(&bytes[4..4 + len]), &bytes[4 + len..]))
+            Ok((
+                BigUint::from_bytes_be(&bytes[4..4 + len]),
+                &bytes[4 + len..],
+            ))
         }
         let (n, rest) = read_chunk(bytes)?;
         let (e, _) = read_chunk(rest)?;

@@ -35,7 +35,13 @@ impl Sha1 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             buffer: [0u8; 64],
             buffer_len: 0,
             total_len: 0,

@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn digest_array_matches_digest() {
-        assert_eq!(Sha256::digest_array(b"onionbots").to_vec(), Sha256::digest(b"onionbots"));
+        assert_eq!(
+            Sha256::digest_array(b"onionbots").to_vec(),
+            Sha256::digest(b"onionbots")
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
         visited.extend(component.iter().copied());
         components.push(component);
     }
-    components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.first().cmp(&b.first())));
+    components.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.first().cmp(&b.first()))
+    });
     components
 }
 
@@ -123,7 +127,16 @@ mod tests {
     fn removing_a_cut_vertex_partitions() {
         // Barbell: two triangles joined through a single bridge node.
         let (mut g, ids) = Graph::with_nodes(7);
-        for (a, b) in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (2, 3), (3, 4)] {
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (4, 5),
+            (5, 6),
+            (6, 4),
+            (2, 3),
+            (3, 4),
+        ] {
             g.add_edge(ids[a], ids[b]);
         }
         assert!(is_connected(&g));

@@ -17,11 +17,14 @@ use crate::graph::{Graph, NodeId};
 /// Panics if `n * k` is odd or `k >= n` (no simple k-regular graph exists).
 pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> (Graph, Vec<NodeId>) {
     assert!(k < n, "degree must be smaller than the node count");
-    assert!((n * k) % 2 == 0, "n * k must be even for a k-regular graph");
+    assert!(
+        (n * k).is_multiple_of(2),
+        "n * k must be even for a k-regular graph"
+    );
     'restart: loop {
         let (mut graph, ids) = Graph::with_nodes(n);
         // Stub list: each node appears k times.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat(i).take(k)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, k)).collect();
         stubs.shuffle(rng);
         // Repeatedly draw random stub pairs; on conflict re-shuffle the tail a
         // bounded number of times, otherwise restart from scratch.
@@ -59,7 +62,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> (Grap
 /// Panics if `k` is odd, `k >= n`, or `n == 0`.
 pub fn ring_lattice(n: usize, k: usize) -> (Graph, Vec<NodeId>) {
     assert!(n > 0, "ring lattice needs at least one node");
-    assert!(k % 2 == 0, "ring lattice degree must be even");
+    assert!(k.is_multiple_of(2), "ring lattice degree must be even");
     assert!(k < n, "degree must be smaller than the node count");
     let (mut graph, ids) = Graph::with_nodes(n);
     for i in 0..n {
@@ -144,7 +147,10 @@ mod tests {
         let (g, _) = erdos_renyi(100, 0.1, &mut rng);
         let possible = 100 * 99 / 2;
         let observed = g.edge_count() as f64 / possible as f64;
-        assert!((0.05..0.15).contains(&observed), "observed density {observed}");
+        assert!(
+            (0.05..0.15).contains(&observed),
+            "observed density {observed}"
+        );
         let (empty, _) = erdos_renyi(50, 0.0, &mut rng);
         assert_eq!(empty.edge_count(), 0);
         let (full, _) = erdos_renyi(20, 1.0, &mut rng);

@@ -108,10 +108,7 @@ impl Graph {
 
     /// Removes an undirected edge. Returns `true` if it existed.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        let removed = self
-            .adjacency
-            .get_mut(&a)
-            .map_or(false, |set| set.remove(&b));
+        let removed = self.adjacency.get_mut(&a).is_some_and(|set| set.remove(&b));
         if removed {
             if let Some(set) = self.adjacency.get_mut(&b) {
                 set.remove(&a);
@@ -123,7 +120,7 @@ impl Graph {
 
     /// Returns `true` if the edge `(a, b)` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency.get(&a).map_or(false, |set| set.contains(&b))
+        self.adjacency.get(&a).is_some_and(|set| set.contains(&b))
     }
 
     /// The neighbors of `node`, or `None` if the node is absent.
@@ -152,12 +149,20 @@ impl Graph {
 
     /// Maximum degree over live nodes (`0` for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency.values().map(BTreeSet::len).max().unwrap_or(0)
+        self.adjacency
+            .values()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over live nodes (`0` for an empty graph).
     pub fn min_degree(&self) -> usize {
-        self.adjacency.values().map(BTreeSet::len).min().unwrap_or(0)
+        self.adjacency
+            .values()
+            .map(BTreeSet::len)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Average degree over live nodes (`0.0` for an empty graph).
@@ -191,11 +196,7 @@ impl Graph {
                 if a == b {
                     return Err(format!("self loop at {a}"));
                 }
-                if !self
-                    .adjacency
-                    .get(&b)
-                    .map_or(false, |set| set.contains(&a))
-                {
+                if !self.adjacency.get(&b).is_some_and(|set| set.contains(&a)) {
                     return Err(format!("asymmetric edge {a} -> {b}"));
                 }
                 counted += 1;
@@ -231,7 +232,10 @@ mod tests {
     fn edges_are_undirected_and_deduplicated() {
         let (mut g, ids) = Graph::with_nodes(3);
         assert!(g.add_edge(ids[0], ids[1]));
-        assert!(!g.add_edge(ids[1], ids[0]), "duplicate edge must be rejected");
+        assert!(
+            !g.add_edge(ids[1], ids[0]),
+            "duplicate edge must be rejected"
+        );
         assert!(g.has_edge(ids[1], ids[0]));
         assert_eq!(g.edge_count(), 1);
         assert!(!g.add_edge(ids[0], ids[0]), "self loops rejected");

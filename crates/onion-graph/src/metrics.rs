@@ -35,8 +35,8 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> HashMap<NodeId, usize> {
         let d = dist[&u];
         if let Some(neighbors) = graph.neighbors(u) {
             for &v in neighbors {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(d + 1);
                     queue.push_back(v);
                 }
             }
@@ -118,7 +118,13 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
     if !graph.contains(node) {
         return None;
     }
-    Some(bfs_distances(graph, node).values().copied().max().unwrap_or(0))
+    Some(
+        bfs_distances(graph, node)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0),
+    )
 }
 
 /// Exact diameter of the largest connected component (all-pairs BFS).
@@ -142,7 +148,11 @@ pub fn diameter(graph: &Graph) -> Option<usize> {
 }
 
 /// Diameter lower bound estimated from `samples` random BFS sources.
-pub fn sampled_diameter<R: Rng + ?Sized>(graph: &Graph, samples: usize, rng: &mut R) -> Option<usize> {
+pub fn sampled_diameter<R: Rng + ?Sized>(
+    graph: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> Option<usize> {
     let mut nodes = graph.nodes();
     if nodes.is_empty() {
         return None;
@@ -286,7 +296,10 @@ mod tests {
         let (g, _) = random_regular(300, 8, &mut rng);
         let exact = average_closeness_centrality(&g);
         let sampled = sampled_average_closeness_centrality(&g, 60, &mut rng);
-        assert!((exact - sampled).abs() < 0.05, "exact {exact}, sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.05,
+            "exact {exact}, sampled {sampled}"
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn empty_peer_list_accepts() {
         let mut rng = StdRng::seed_from_u64(5);
-        assert_eq!(decide_peering(&[], 50, 0, &mut rng), PeeringDecision::Accept);
+        assert_eq!(
+            decide_peering(&[], 50, 0, &mut rng),
+            PeeringDecision::Accept
+        );
     }
 
     #[test]

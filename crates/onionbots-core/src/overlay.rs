@@ -58,7 +58,12 @@ impl DdsrOverlay {
 
     /// Builds a fresh overlay as a random `k`-regular graph on `n` nodes —
     /// the starting point of every experiment in §V.
-    pub fn new_regular<R: Rng + ?Sized>(n: usize, k: usize, config: DdsrConfig, rng: &mut R) -> (Self, Vec<NodeId>) {
+    pub fn new_regular<R: Rng + ?Sized>(
+        n: usize,
+        k: usize,
+        config: DdsrConfig,
+        rng: &mut R,
+    ) -> (Self, Vec<NodeId>) {
         let (graph, ids) = onion_graph::generators::random_regular(n, k, rng);
         (Self::from_graph(graph, config), ids)
     }
@@ -120,7 +125,10 @@ impl DdsrOverlay {
         // already exists. Each of them knew the others through NoN knowledge.
         for i in 0..former_neighbors.len() {
             for j in i + 1..former_neighbors.len() {
-                if self.graph.add_edge(former_neighbors[i], former_neighbors[j]) {
+                if self
+                    .graph
+                    .add_edge(former_neighbors[i], former_neighbors[j])
+                {
                     self.stats.edges_added += 1;
                 }
             }
@@ -203,7 +211,10 @@ impl DdsrOverlay {
         let mut candidates = self.graph.nodes();
         candidates.retain(|&n| n != new);
         candidates.shuffle(rng);
-        for peer in candidates.into_iter().take(self.config.d_max.min(self.config.d_min.max(1))) {
+        for peer in candidates
+            .into_iter()
+            .take(self.config.d_max.min(self.config.d_min.max(1)))
+        {
             self.graph.add_edge(new, peer);
         }
         new
@@ -339,7 +350,9 @@ mod tests {
             "unpruned overlay should grow larger degrees"
         );
         // Degree centrality comparison mirrors Figures 4c/4d.
-        assert!(average_degree_centrality(without.graph()) > average_degree_centrality(with.graph()));
+        assert!(
+            average_degree_centrality(without.graph()) > average_degree_centrality(with.graph())
+        );
     }
 
     #[test]
@@ -352,7 +365,10 @@ mod tests {
         let non = overlay.neighbors_of_neighbors(ids[0]).unwrap();
         assert!(non.contains(&ids[2]));
         assert!(!non.contains(&ids[0]));
-        assert!(!non.contains(&ids[3]), "three hops away is beyond NoN knowledge");
+        assert!(
+            !non.contains(&ids[3]),
+            "three hops away is beyond NoN knowledge"
+        );
         assert!(overlay.neighbors_of_neighbors(NodeId(999)).is_none());
     }
 

@@ -83,7 +83,10 @@ mod tests {
     fn bot_and_botmaster_derive_identical_addresses() {
         let (bot, master) = schedule(1);
         for period in 0..20 {
-            assert_eq!(bot.address_for_period(period), master.address_for_period(period));
+            assert_eq!(
+                bot.address_for_period(period),
+                master.address_for_period(period)
+            );
         }
     }
 

@@ -116,14 +116,24 @@ fn id_distance(a: NodeId, b: NodeId) -> u64 {
 
 /// Greedy routing with one-hop knowledge: at each step move to the neighbor
 /// closest to the destination; stop when no neighbor improves the distance.
-pub fn greedy_route(graph: &Graph, source: NodeId, destination: NodeId, max_hops: usize) -> RouteReport {
+pub fn greedy_route(
+    graph: &Graph,
+    source: NodeId,
+    destination: NodeId,
+    max_hops: usize,
+) -> RouteReport {
     route_with_lookahead(graph, source, destination, max_hops, false)
 }
 
 /// Greedy routing with Neighbors-of-Neighbor lookahead: at each step consider
 /// the best distance achievable *through* each neighbor (its own neighbors
 /// included), as in the NoN routing the paper cites.
-pub fn non_greedy_route(graph: &Graph, source: NodeId, destination: NodeId, max_hops: usize) -> RouteReport {
+pub fn non_greedy_route(
+    graph: &Graph,
+    source: NodeId,
+    destination: NodeId,
+    max_hops: usize,
+) -> RouteReport {
     route_with_lookahead(graph, source, destination, max_hops, true)
 }
 
@@ -171,7 +181,7 @@ fn route_with_lookahead(
             } else {
                 id_distance(n, destination)
             };
-            if best.map_or(true, |(s, _)| score < s) {
+            if best.is_none_or(|(s, _)| score < s) {
                 best = Some((score, n));
             }
         }
@@ -231,8 +241,15 @@ mod tests {
         let report = flood_broadcast(&g, ids[0]);
         assert_eq!(report.reached, 200);
         assert!((report.coverage() - 1.0).abs() < 1e-12);
-        assert!(report.rounds <= 6, "8-regular 200-node graph has tiny diameter");
-        assert_eq!(report.messages, 200 * 8, "every node forwards to all peers once");
+        assert!(
+            report.rounds <= 6,
+            "8-regular 200-node graph has tiny diameter"
+        );
+        assert_eq!(
+            report.messages,
+            200 * 8,
+            "every node forwards to all peers once"
+        );
         assert_eq!(*report.coverage_per_round.last().unwrap(), 200);
     }
 

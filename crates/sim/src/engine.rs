@@ -20,13 +20,48 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
-/// A deterministic discrete-event queue.
-#[derive(Debug, Default)]
+/// Heap entry ordered by `(at, sequence)` only; the payload rides along
+/// instead of living in a side map.
+#[derive(Debug)]
+struct Entry<E> {
+    at: u64,
+    sequence: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.sequence) == (other.at, other.sequence)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.sequence).cmp(&(other.at, other.sequence))
+    }
+}
+
+/// A deterministic discrete-event queue: a single min-heap on
+/// `(time, sequence)` carrying the payloads directly.
+#[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(u64, u64)>>,
-    entries: std::collections::HashMap<(u64, u64), E>,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
     next_sequence: u64,
     now: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl<E> EventQueue<E> {
@@ -34,7 +69,6 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            entries: std::collections::HashMap::new(),
             next_sequence: 0,
             now: 0,
         }
@@ -61,10 +95,13 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is in the past (before the last popped event).
     pub fn schedule(&mut self, at: u64, event: E) {
         assert!(at >= self.now, "cannot schedule an event in the past");
-        let key = (at, self.next_sequence);
+        let sequence = self.next_sequence;
         self.next_sequence += 1;
-        self.heap.push(Reverse(key));
-        self.entries.insert(key, event);
+        self.heap.push(Reverse(Entry {
+            at,
+            sequence,
+            event,
+        }));
     }
 
     /// Schedules an event `delay` ticks from the current time.
@@ -74,13 +111,12 @@ impl<E> EventQueue<E> {
 
     /// Pops the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        let Reverse(key) = self.heap.pop()?;
-        let event = self.entries.remove(&key).expect("entry exists for key");
-        self.now = key.0;
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
         Some(Scheduled {
-            at: key.0,
-            sequence: key.1,
-            event,
+            at: entry.at,
+            sequence: entry.sequence,
+            event: entry.event,
         })
     }
 
@@ -91,12 +127,8 @@ impl<E> EventQueue<E> {
         F: FnMut(&mut Self, Scheduled<E>),
     {
         let mut handled = 0usize;
-        loop {
-            let next_time = match self.heap.peek() {
-                Some(Reverse((t, _))) => *t,
-                None => break,
-            };
-            if next_time > until {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if entry.at > until {
                 break;
             }
             let scheduled = self.pop().expect("peeked entry exists");

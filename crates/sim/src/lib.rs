@@ -4,11 +4,21 @@
 //!
 //! * [`engine`] — a deterministic discrete-event queue for scenario
 //!   scheduling.
-//! * [`scenario`] — the takedown experiments behind Figures 4, 5 and 6:
+//! * [`scenario`] — the takedown primitives behind Figures 4, 5 and 6:
 //!   gradual (self-repairing vs. normal) takedowns with metric sampling, and
 //!   the simultaneous-deletion partition threshold.
-//! * [`experiment`] — data series, CSV / table / JSON rendering shared by the
-//!   figure-regeneration binaries in `crates/bench`.
+//! * [`scenario_api`] — the first-class scenario layer: the [`Scenario`]
+//!   trait (named, seeded, parameterized experiments split into
+//!   independently runnable parts), [`ScenarioParams`] and the
+//!   [`ScenarioRegistry`] that `crates/bench` populates with every paper
+//!   figure/table/ablation.
+//! * [`runner`] — the parallel [`Runner`]: fans *(scenario, part)* work
+//!   items across `std::thread` workers with per-part deterministic seeds
+//!   and collects a [`RunSummary`] whose JSON is byte-identical for any
+//!   worker count.
+//! * [`experiment`] — data series, CSV / table / JSON rendering and the
+//!   pluggable [`ReportSink`]s (console table, CSV directory, JSON
+//!   directory) used by the `run_experiments` binary in `crates/bench`.
 //!
 //! ```
 //! use sim::scenario::{gradual_takedown, TakedownMode, TakedownParams};
@@ -32,7 +42,13 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod runner;
 pub mod scenario;
+pub mod scenario_api;
 
-pub use experiment::{ExperimentReport, Series};
+pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
+pub use runner::{RunSummary, Runner, ScenarioOutcome};
 pub use scenario::{gradual_takedown, partition_threshold, TakedownMode, TakedownParams};
+pub use scenario_api::{
+    merge_reports, part_seed, Scenario, ScenarioParams, ScenarioRegistry, UnknownScenario,
+};

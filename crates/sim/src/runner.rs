@@ -1,0 +1,247 @@
+//! The parallel experiment [`Runner`]: fans scenario parts across worker
+//! threads and collects deterministic [`RunSummary`] results.
+//!
+//! The unit of scheduling is a *(scenario, part)* pair, so independent
+//! series inside one scenario (the `k = 5/10/15` variants of Figure 4, the
+//! fifteen sizes of Figure 6, ...) parallelize just like independent
+//! scenarios do. Every part draws its RNG from
+//! [`part_seed`](crate::scenario_api::part_seed) and results are merged in
+//! part order, which makes a `RunSummary` — including its JSON rendering —
+//! byte-identical for any worker count.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExperimentReport;
+use crate::scenario_api::{merge_reports, part_seed, Scenario, ScenarioParams};
+
+/// All reports produced by one scenario in a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario's id.
+    pub scenario_id: String,
+    /// The scenario's title.
+    pub title: String,
+    /// Number of parts the scenario was split into.
+    pub parts: usize,
+    /// Merged reports, in the order the scenario produced them.
+    pub reports: Vec<ExperimentReport>,
+}
+
+/// The deterministic result of a [`Runner`] invocation.
+///
+/// Contains no timing data on purpose: two runs with the same params and
+/// scenario set serialize to byte-identical JSON regardless of `jobs`.
+/// Wall-clock measurement is the caller's concern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The parameters every scenario ran with.
+    pub params: ScenarioParams,
+    /// One outcome per executed scenario, in selection order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl RunSummary {
+    /// Serializes the summary as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+
+    /// Total number of reports across all outcomes.
+    pub fn report_count(&self) -> usize {
+        self.outcomes.iter().map(|o| o.reports.len()).sum()
+    }
+}
+
+/// Executes a selected set of scenarios, optionally in parallel.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    params: ScenarioParams,
+    jobs: usize,
+}
+
+impl Runner {
+    /// Creates a single-threaded runner.
+    pub fn new(params: ScenarioParams) -> Self {
+        Runner { params, jobs: 1 }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Runs the scenarios and returns their deterministic summary.
+    ///
+    /// Work items are *(scenario, part)* pairs handed out from a shared
+    /// queue; results are reassembled in `(scenario, part)` order before
+    /// merging, so scheduling order never leaks into the output.
+    pub fn run(&self, scenarios: &[Arc<dyn Scenario>]) -> RunSummary {
+        let part_counts: Vec<usize> = scenarios
+            .iter()
+            .map(|s| s.parts(&self.params).max(1))
+            .collect();
+        let mut work: VecDeque<(usize, usize)> = VecDeque::new();
+        for (scenario_idx, &parts) in part_counts.iter().enumerate() {
+            for part in 0..parts {
+                work.push_back((scenario_idx, part));
+            }
+        }
+
+        let mut results: Vec<(usize, usize, Vec<ExperimentReport>)> =
+            if self.jobs == 1 || work.len() <= 1 {
+                work.into_iter()
+                    .map(|(scenario_idx, part)| {
+                        let reports = run_one(&*scenarios[scenario_idx], part, &self.params);
+                        (scenario_idx, part, reports)
+                    })
+                    .collect()
+            } else {
+                self.run_parallel(scenarios, work)
+            };
+
+        results.sort_by_key(|&(scenario_idx, part, _)| (scenario_idx, part));
+        let mut outcomes: Vec<ScenarioOutcome> = scenarios
+            .iter()
+            .zip(&part_counts)
+            .map(|(s, &parts)| ScenarioOutcome {
+                scenario_id: s.id().to_string(),
+                title: s.title().to_string(),
+                parts,
+                reports: Vec::new(),
+            })
+            .collect();
+        for (scenario_idx, _part, reports) in results {
+            merge_reports(&mut outcomes[scenario_idx].reports, reports);
+        }
+        RunSummary {
+            params: self.params.clone(),
+            outcomes,
+        }
+    }
+
+    fn run_parallel(
+        &self,
+        scenarios: &[Arc<dyn Scenario>],
+        work: VecDeque<(usize, usize)>,
+    ) -> Vec<(usize, usize, Vec<ExperimentReport>)> {
+        let workers = self.jobs.min(work.len());
+        let queue = Mutex::new(work);
+        let results = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let item = queue.lock().expect("queue lock").pop_front();
+                    let Some((scenario_idx, part)) = item else {
+                        break;
+                    };
+                    let reports = run_one(&*scenarios[scenario_idx], part, &self.params);
+                    results
+                        .lock()
+                        .expect("results lock")
+                        .push((scenario_idx, part, reports));
+                });
+            }
+        });
+        results.into_inner().expect("results lock")
+    }
+}
+
+fn run_one(scenario: &dyn Scenario, part: usize, params: &ScenarioParams) -> Vec<ExperimentReport> {
+    let mut rng = StdRng::seed_from_u64(part_seed(params.seed, scenario.id(), part));
+    scenario.run_part(part, params, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Series;
+    use rand::Rng;
+
+    /// A scenario with configurable part count and artificial skew so
+    /// parallel completion order differs from part order.
+    struct Skewed {
+        id: &'static str,
+        parts: usize,
+    }
+
+    impl Scenario for Skewed {
+        fn id(&self) -> &str {
+            self.id
+        }
+        fn title(&self) -> &str {
+            "skewed toy scenario"
+        }
+        fn parts(&self, _params: &ScenarioParams) -> usize {
+            self.parts
+        }
+        fn run_part(
+            &self,
+            part: usize,
+            _params: &ScenarioParams,
+            rng: &mut StdRng,
+        ) -> Vec<ExperimentReport> {
+            // Early parts sleep longest, so with >1 worker the completion
+            // order is roughly reversed relative to part order.
+            std::thread::sleep(std::time::Duration::from_millis(
+                (self.parts - part) as u64 * 3,
+            ));
+            let mut r = ExperimentReport::new(self.id, "skewed", "part", "value");
+            r.push_series(Series::new(
+                "trace",
+                vec![part as f64],
+                vec![rng.gen_range(0.0f64..1.0)],
+            ));
+            vec![r]
+        }
+    }
+
+    fn scenarios() -> Vec<Arc<dyn Scenario>> {
+        vec![
+            Arc::new(Skewed { id: "s1", parts: 4 }),
+            Arc::new(Skewed { id: "s2", parts: 2 }),
+            Arc::new(Skewed { id: "s3", parts: 1 }),
+        ]
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_runs_byte_for_byte() {
+        let params = ScenarioParams::with_seed(42);
+        let sequential = Runner::new(params.clone()).run(&scenarios());
+        let parallel = Runner::new(params).jobs(8).run(&scenarios());
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn outcomes_follow_selection_order_and_merge_parts_in_order() {
+        let summary = Runner::new(ScenarioParams::with_seed(7))
+            .jobs(4)
+            .run(&scenarios());
+        assert_eq!(summary.outcomes.len(), 3);
+        assert_eq!(summary.outcomes[0].scenario_id, "s1");
+        assert_eq!(summary.outcomes[0].parts, 4);
+        let series = &summary.outcomes[0].reports[0].series[0];
+        assert_eq!(series.x, vec![0.0, 1.0, 2.0, 3.0], "parts merged in order");
+        assert_eq!(summary.report_count(), 3);
+    }
+
+    #[test]
+    fn different_seeds_change_results() {
+        let a = Runner::new(ScenarioParams::with_seed(1)).run(&scenarios());
+        let b = Runner::new(ScenarioParams::with_seed(2)).run(&scenarios());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn summary_json_roundtrips() {
+        let summary = Runner::new(ScenarioParams::with_seed(3)).run(&scenarios());
+        let restored: RunSummary = serde_json::from_str(&summary.to_json()).unwrap();
+        assert_eq!(restored, summary);
+    }
+}

@@ -142,7 +142,7 @@ pub fn partition_threshold<R: Rng + ?Sized>(
         if graph.node_count() == 0 {
             break;
         }
-        if deleted % check_every.max(1) == 0 && component_count(&graph) > 1 {
+        if deleted.is_multiple_of(check_every.max(1)) && component_count(&graph) > 1 {
             break;
         }
     }

@@ -53,7 +53,9 @@ impl CellCommand {
             3 => Ok(CellCommand::Introduce),
             4 => Ok(CellCommand::Rendezvous),
             5 => Ok(CellCommand::Destroy),
-            other => Err(TorError::MalformedCell(format!("unknown command byte {other}"))),
+            other => Err(TorError::MalformedCell(format!(
+                "unknown command byte {other}"
+            ))),
         }
     }
 }
@@ -75,7 +77,11 @@ impl Cell {
     /// # Errors
     /// Returns [`TorError::MalformedCell`] if the payload exceeds
     /// [`CELL_PAYLOAD_LEN`].
-    pub fn new(circuit_id: u32, command: CellCommand, payload: impl Into<Bytes>) -> Result<Self, TorError> {
+    pub fn new(
+        circuit_id: u32,
+        command: CellCommand,
+        payload: impl Into<Bytes>,
+    ) -> Result<Self, TorError> {
         let payload = payload.into();
         if payload.len() > CELL_PAYLOAD_LEN {
             return Err(TorError::MalformedCell(format!(
@@ -137,8 +143,12 @@ impl Cell {
         payload
             .chunks(CELL_PAYLOAD_LEN)
             .map(|chunk| {
-                Cell::new(circuit_id, CellCommand::Relay, Bytes::copy_from_slice(chunk))
-                    .expect("chunk size bounded by capacity")
+                Cell::new(
+                    circuit_id,
+                    CellCommand::Relay,
+                    Bytes::copy_from_slice(chunk),
+                )
+                .expect("chunk size bounded by capacity")
             })
             .collect()
     }
@@ -192,7 +202,9 @@ mod tests {
         let mut wire = [0u8; CELL_LEN];
         wire[4] = 99; // unknown command
         assert!(Cell::from_wire(&wire).is_err());
-        let mut wire2 = Cell::new(1, CellCommand::Relay, Bytes::new()).unwrap().to_wire();
+        let mut wire2 = Cell::new(1, CellCommand::Relay, Bytes::new())
+            .unwrap()
+            .to_wire();
         wire2[5] = 0xff;
         wire2[6] = 0xff; // impossible length
         assert!(Cell::from_wire(&wire2).is_err());

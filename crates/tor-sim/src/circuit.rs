@@ -33,9 +33,15 @@ impl Circuit {
     ///
     /// # Errors
     /// Returns [`TorError::CircuitFailed`] if no hops are provided.
-    pub fn build<R: Rng + ?Sized>(id: u32, hops: Vec<Fingerprint>, rng: &mut R) -> Result<Self, TorError> {
+    pub fn build<R: Rng + ?Sized>(
+        id: u32,
+        hops: Vec<Fingerprint>,
+        rng: &mut R,
+    ) -> Result<Self, TorError> {
         if hops.is_empty() {
-            return Err(TorError::CircuitFailed("a circuit needs at least one hop".to_string()));
+            return Err(TorError::CircuitFailed(
+                "a circuit needs at least one hop".to_string(),
+            ));
         }
         let hop_keys = hops
             .iter()
@@ -135,7 +141,11 @@ mod tests {
         for hop_count in 1..=5 {
             let circuit = Circuit::build(1, hops(hop_count, &mut rng), &mut rng).unwrap();
             let payload = b"rendezvous with me at relay X";
-            assert_eq!(circuit.relay_through(payload), payload.to_vec(), "hops {hop_count}");
+            assert_eq!(
+                circuit.relay_through(payload),
+                payload.to_vec(),
+                "hops {hop_count}"
+            );
         }
     }
 
@@ -168,7 +178,10 @@ mod tests {
         let shared_hops = hops(3, &mut rng);
         let c1 = Circuit::build(1, shared_hops.clone(), &mut rng).unwrap();
         let c2 = Circuit::build(2, shared_hops, &mut rng).unwrap();
-        assert_ne!(c1.onion_encrypt(b"same payload"), c2.onion_encrypt(b"same payload"));
+        assert_ne!(
+            c1.onion_encrypt(b"same payload"),
+            c2.onion_encrypt(b"same payload")
+        );
     }
 
     #[test]

@@ -59,7 +59,8 @@ impl HiddenServiceDescriptor {
         let Ok(key) = RsaPublicKey::decode(&self.public_key) else {
             return false;
         };
-        let body = Self::canonical_bytes(&self.public_key, &self.intro_points, self.published_at_secs);
+        let body =
+            Self::canonical_bytes(&self.public_key, &self.intro_points, self.published_at_secs);
         key.verify(&body, &self.signature)
     }
 

@@ -105,10 +105,7 @@ pub fn responsible_hsdirs(descriptor: DescriptorId, ring: &[Fingerprint]) -> Vec
         return Vec::new();
     }
     // First relay whose fingerprint is >= the descriptor id; wrap to 0.
-    let start = ring
-        .iter()
-        .position(|fp| fp.0 >= descriptor.0)
-        .unwrap_or(0);
+    let start = ring.iter().position(|fp| fp.0 >= descriptor.0).unwrap_or(0);
     let take = HSDIRS_PER_REPLICA.min(ring.len());
     (0..take).map(|i| ring[(start + i) % ring.len()]).collect()
 }

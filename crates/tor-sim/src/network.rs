@@ -124,7 +124,11 @@ impl TorNetwork {
 
     /// Registers a hidden service, making it reachable once a descriptor is
     /// published. Re-registration resets the mailbox.
-    pub fn register_hidden_service(&mut self, onion: OnionAddress, descriptor_cookie: Option<[u8; 16]>) {
+    pub fn register_hidden_service(
+        &mut self,
+        onion: OnionAddress,
+        descriptor_cookie: Option<[u8; 16]>,
+    ) {
         self.services.insert(
             onion,
             ServiceState {
@@ -155,20 +159,22 @@ impl TorNetwork {
     /// # Errors
     /// Returns [`TorError::InvalidDescriptor`] for unverifiable descriptors
     /// and [`TorError::CircuitFailed`] when the consensus has no HSDirs.
-    pub fn publish_descriptor(&mut self, descriptor: &HiddenServiceDescriptor) -> Result<(), TorError> {
+    pub fn publish_descriptor(
+        &mut self,
+        descriptor: &HiddenServiceDescriptor,
+    ) -> Result<(), TorError> {
         if !descriptor.verify() {
             return Err(TorError::InvalidDescriptor(
                 "descriptor signature does not verify".to_string(),
             ));
         }
         let onion = descriptor.onion_address()?;
-        let cookie = self
-            .services
-            .get(&onion)
-            .and_then(|s| s.descriptor_cookie);
+        let cookie = self.services.get(&onion).and_then(|s| s.descriptor_cookie);
         let ring = self.consensus.hsdir_ring();
         if ring.is_empty() {
-            return Err(TorError::CircuitFailed("no hsdirs in consensus".to_string()));
+            return Err(TorError::CircuitFailed(
+                "no hsdirs in consensus".to_string(),
+            ));
         }
         for id in descriptor_ids(onion.identifier(), self.time_secs, cookie.as_ref()) {
             for hsdir in responsible_hsdirs(id, &ring) {
@@ -228,14 +234,19 @@ impl TorNetwork {
         };
         let ring = self.consensus.hsdir_ring();
         if ring.is_empty() {
-            return Err(TorError::CircuitFailed("no hsdirs in consensus".to_string()));
+            return Err(TorError::CircuitFailed(
+                "no hsdirs in consensus".to_string(),
+            ));
         }
         for id in descriptor_ids(onion.identifier(), self.time_secs, cookie.as_ref()) {
             for hsdir in responsible_hsdirs(id, &ring) {
-                self.announcements.entry(hsdir).or_default().insert(Announcement {
-                    onion,
-                    descriptor: id,
-                });
+                self.announcements
+                    .entry(hsdir)
+                    .or_default()
+                    .insert(Announcement {
+                        onion,
+                        descriptor: id,
+                    });
                 self.stats.descriptors_published += 1;
             }
         }
@@ -245,15 +256,19 @@ impl TorNetwork {
     /// Returns `true` when a client knowing the onion address (and cookie)
     /// can currently resolve the service: either a full descriptor or an
     /// announcement is stored on a responsible HSDir.
-    pub fn is_resolvable(&mut self, onion: OnionAddress, descriptor_cookie: Option<&[u8; 16]>) -> bool {
+    pub fn is_resolvable(
+        &mut self,
+        onion: OnionAddress,
+        descriptor_cookie: Option<&[u8; 16]>,
+    ) -> bool {
         let ring = self.consensus.hsdir_ring();
         for id in descriptor_ids(onion.identifier(), self.time_secs, descriptor_cookie) {
             for hsdir in responsible_hsdirs(id, &ring) {
                 let has_descriptor = self
                     .hsdir_storage
                     .get(&hsdir)
-                    .map_or(false, |store| store.contains_key(&id));
-                let has_announcement = self.announcements.get(&hsdir).map_or(false, |set| {
+                    .is_some_and(|store| store.contains_key(&id));
+                let has_announcement = self.announcements.get(&hsdir).is_some_and(|set| {
                     set.contains(&Announcement {
                         onion,
                         descriptor: id,
@@ -282,7 +297,11 @@ impl TorNetwork {
     /// # Errors
     /// Returns [`TorError::CircuitFailed`] when the consensus has fewer
     /// relays than requested hops.
-    pub fn build_circuit<R: Rng + ?Sized>(&mut self, hops: usize, rng: &mut R) -> Result<Circuit, TorError> {
+    pub fn build_circuit<R: Rng + ?Sized>(
+        &mut self,
+        hops: usize,
+        rng: &mut R,
+    ) -> Result<Circuit, TorError> {
         let candidates = self.consensus.circuit_candidates();
         if candidates.len() < hops {
             return Err(TorError::CircuitFailed(format!(
@@ -290,10 +309,7 @@ impl TorNetwork {
                 candidates.len()
             )));
         }
-        let chosen: Vec<Fingerprint> = candidates
-            .choose_multiple(rng, hops)
-            .copied()
-            .collect();
+        let chosen: Vec<Fingerprint> = candidates.choose_multiple(rng, hops).copied().collect();
         let id = self.next_circuit_id;
         self.next_circuit_id = self.next_circuit_id.wrapping_add(1);
         Circuit::build(id, chosen, rng)
@@ -357,7 +373,11 @@ impl TorNetwork {
     /// Fragments and reassembles a payload through a circuit, returning the
     /// number of cells used. Exercises the cell/circuit layers together; the
     /// overlay uses it to model in-circuit traffic without buffering cells.
-    pub fn relay_payload<R: Rng + ?Sized>(&mut self, payload: &[u8], rng: &mut R) -> Result<usize, TorError> {
+    pub fn relay_payload<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<usize, TorError> {
         let circuit = self.build_circuit(DEFAULT_CIRCUIT_HOPS, rng)?;
         let cells = Cell::fragment(circuit.id(), payload);
         let delivered = circuit.relay_through(payload);
@@ -474,7 +494,8 @@ mod tests {
     fn invalid_descriptor_rejected_at_publication() {
         let mut f = fixture(6);
         let intro: Vec<Fingerprint> = f.network.consensus().hsdir_ring()[..2].to_vec();
-        let mut desc = HiddenServiceDescriptor::create(&f.service_key, intro, f.network.time_secs());
+        let mut desc =
+            HiddenServiceDescriptor::create(&f.service_key, intro, f.network.time_secs());
         desc.published_at_secs += 1; // break the signature
         assert!(matches!(
             f.network.publish_descriptor(&desc),

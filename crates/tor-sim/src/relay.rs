@@ -71,7 +71,11 @@ pub struct Relay {
 
 impl Relay {
     /// Creates a relay with a random identity.
-    pub fn new<R: Rng + ?Sized>(nickname: impl Into<String>, bandwidth_kbps: u64, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        nickname: impl Into<String>,
+        bandwidth_kbps: u64,
+        rng: &mut R,
+    ) -> Self {
         Relay {
             fingerprint: Fingerprint::random(rng),
             nickname: nickname.into(),

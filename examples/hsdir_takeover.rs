@@ -31,7 +31,9 @@ fn main() {
     );
 
     let responsible = execute_takeover(&mut tor, &plan);
-    println!("after 26 hours, {responsible}/6 responsible HSDir positions are adversary-controlled");
+    println!(
+        "after 26 hours, {responsible}/6 responsible HSDir positions are adversary-controlled"
+    );
 
     tor.announce_service(bot_today).unwrap();
     tor.announce_service(bot_tomorrow).unwrap();

@@ -42,8 +42,14 @@ fn main() {
     println!("\nobserver summary for the OnionBot:");
     println!("  total cells:            {}", summary.total_cells);
     println!("  distinct sizes:         {}", summary.distinct_sizes);
-    println!("  size entropy:           {:.3} bits", summary.size_entropy_bits);
-    println!("  mean cells per window:  {:.1}", summary.mean_cells_per_window);
+    println!(
+        "  size entropy:           {:.3} bits",
+        summary.size_entropy_bits
+    );
+    println!(
+        "  mean cells per window:  {:.1}",
+        summary.mean_cells_per_window
+    );
 
     // Contrast with a strawman botnet that sends unpadded plaintext-size
     // messages: the very same commands become trivially distinguishable.
@@ -54,7 +60,12 @@ fn main() {
     let leaky = strawman.summarize();
     println!("\nstrawman (unpadded) botnet for contrast:");
     println!("  distinct sizes:         {}", leaky.distinct_sizes);
-    println!("  size entropy:           {:.3} bits", leaky.size_entropy_bits);
+    println!(
+        "  size entropy:           {:.3} bits",
+        leaky.size_entropy_bits
+    );
     println!("\nconclusion: the OnionBot's wire image is size-uniform (0 bits of size entropy),");
-    println!("so traffic-classification defenses keyed on message sizes have nothing to work with.");
+    println!(
+        "so traffic-classification defenses keyed on message sizes have nothing to work with."
+    );
 }

@@ -41,7 +41,10 @@ fn main() {
     println!("== cost of the paper's counter-defenses per clone acceptance ==");
     let pow = PowChallenge::for_request_load(b"peer-with-me".to_vec(), 12, 50);
     let (_, hashes) = pow.solve(u64::MAX >> 16).expect("solvable difficulty");
-    println!("proof of work at {} bits: ~{hashes} hashes per clone", pow.difficulty_bits);
+    println!(
+        "proof of work at {} bits: ~{hashes} hashes per clone",
+        pow.difficulty_bits
+    );
     let limiter = PeeringRateLimiter {
         base_delay_secs: 60,
         per_peer_delay_secs: 600,

@@ -42,9 +42,7 @@ fn main() {
                 sample.connected_components,
                 sample.degree_centrality,
                 sample.closeness_centrality,
-                sample
-                    .diameter
-                    .map_or("-".to_string(), |d| d.to_string())
+                sample.diameter.map_or("-".to_string(), |d| d.to_string())
             );
         }
     }

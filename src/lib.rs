@@ -21,7 +21,27 @@
 //!   [`botnet::BotnetSimulation`].
 //! * [`mitigation`] — SOAP, HSDir positioning, proof-of-work / rate-limit
 //!   defenses and the SuperOnion extension.
-//! * [`sim`] — takedown scenarios, experiment series and reporting.
+//! * [`sim`] — the experiment layer: takedown primitives, the
+//!   [`sim::scenario_api::Scenario`] trait + registry, the parallel
+//!   [`sim::Runner`], and report rendering/sinks.
+//!
+//! ## Reproducing the evaluation
+//!
+//! Every paper figure/table/ablation is a registered scenario in
+//! `onionbots-bench`; the `run_experiments` binary lists and executes
+//! them:
+//!
+//! ```text
+//! run_experiments --list
+//! run_experiments --only fig4,fig7 --scale full --jobs 8 --out results/
+//! ```
+//!
+//! Scenarios split into independent parts that fan out across worker
+//! threads with per-part deterministic seeds, so reports (and their JSON)
+//! are byte-identical for any `--jobs` value. The per-figure binaries
+//! (`fig4`, `fig7_soap`, ...) remain as thin wrappers over the same
+//! registry. See `examples/custom_scenario.rs` for registering your own
+//! workload.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every table and figure.

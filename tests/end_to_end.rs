@@ -29,7 +29,8 @@ fn command_broadcast_survives_address_rotation_and_partial_takedown() {
 
     // Rotate addresses (daily forgetting) — the C&C still reaches everyone.
     sim.rotate_all(1);
-    let rotated = sim.broadcast_command(CommandKind::SimulatedCompute { work_units: 2 }, 2, &mut rng);
+    let rotated =
+        sim.broadcast_command(CommandKind::SimulatedCompute { work_units: 2 }, 2, &mut rng);
     assert_eq!(rotated.bots_reached, 24, "rotation must not orphan any bot");
 
     // Take a third of the botnet down; the rest remains commandable.
@@ -60,13 +61,23 @@ fn ddsr_overlay_resilience_matches_paper_claims() {
         metric_samples: 60,
     };
     let (mut ddsr, ids) = DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), &mut rng);
-    let ddsr_trace = gradual_takedown(&mut ddsr, &ids, TakedownMode::SelfRepairing, params, &mut rng);
+    let ddsr_trace = gradual_takedown(
+        &mut ddsr,
+        &ids,
+        TakedownMode::SelfRepairing,
+        params,
+        &mut rng,
+    );
     let (mut normal, ids_n) = DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), &mut rng);
-    let normal_trace = gradual_takedown(&mut normal, &ids_n, TakedownMode::Normal, params, &mut rng);
+    let normal_trace =
+        gradual_takedown(&mut normal, &ids_n, TakedownMode::Normal, params, &mut rng);
 
     let ddsr_last = ddsr_trace.last().unwrap();
     let normal_last = normal_trace.last().unwrap();
-    assert_eq!(ddsr_last.connected_components, 1, "DDSR survives 90% gradual takedown");
+    assert_eq!(
+        ddsr_last.connected_components, 1,
+        "DDSR survives 90% gradual takedown"
+    );
     assert!(ddsr.graph().max_degree() <= k, "pruning bounds the degree");
     assert!(
         normal_last.connected_components > 5,
@@ -143,9 +154,7 @@ fn rental_tokens_bound_what_a_renter_can_do_end_to_end() {
     let seq = sim.botmaster_mut().next_sequence_for_renter();
     let forbidden = SignedCommand::sign(
         &renter,
-        CommandKind::SimulatedDdos {
-            target: "x".into(),
-        },
+        CommandKind::SimulatedDdos { target: "x".into() },
         Audience::Broadcast,
         seq,
         0,
@@ -153,5 +162,8 @@ fn rental_tokens_bound_what_a_renter_can_do_end_to_end() {
     );
     let forbidden_report = sim.propagate(&forbidden, 2, &mut rng);
     assert_eq!(forbidden_report.bots_executed, 0);
-    assert!(forbidden_report.bots_reached > 0, "bots still relay what they reject");
+    assert!(
+        forbidden_report.bots_reached > 0,
+        "bots still relay what they reject"
+    );
 }

@@ -27,7 +27,11 @@ fn every_wire_message_has_the_same_size_regardless_of_content() {
             Audience::Broadcast,
             0,
         ),
-        master.issue(CommandKind::RotateAddresses { period: 9 }, Audience::Broadcast, 0),
+        master.issue(
+            CommandKind::RotateAddresses { period: 9 },
+            Audience::Broadcast,
+            0,
+        ),
     ];
     let mut sizes = HashSet::new();
     for cmd in &commands {

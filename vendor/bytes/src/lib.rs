@@ -1,0 +1,111 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: an immutable, cheaply clonable byte container.
+//!
+//! Backed by `Arc<[u8]>` so clones are O(1), like the real `Bytes`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_deref() {
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(&Bytes::from(vec![1u8, 2])[..], &[1, 2]);
+        assert_eq!(&Bytes::from("ab")[..], b"ab");
+        let arr: &[u8; 3] = b"xyz";
+        assert_eq!(&Bytes::from(arr)[..], b"xyz");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::copy_from_slice(&[9u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref(), b.as_ref()));
+    }
+}

@@ -1,0 +1,53 @@
+//! Fixed-size array strategies (`uniform10`, `uniform12`, ...).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `[S::Value; N]` from `N` independent samples.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Generates arrays of the size in the function name.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform_fn!(
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform10 => 10,
+    uniform12 => 12,
+    uniform16 => 16,
+    uniform20 => 20,
+    uniform32 => 32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn arrays_have_the_right_size_and_vary() {
+        let mut rng = TestRng::for_case("array", 0);
+        let strat = uniform32(any::<u8>());
+        let a = strat.sample(&mut rng);
+        let b = strat.sample(&mut rng);
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, b, "two samples differ");
+    }
+}

@@ -1,0 +1,34 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for unbiased booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+/// Generates `true` or `false` with equal probability.
+pub const ANY: AnyBool = AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_values_appear() {
+        let mut rng = TestRng::for_case("bool", 0);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[usize::from(ANY.sample(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

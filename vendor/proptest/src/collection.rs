@@ -1,0 +1,92 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Vec`s with lengths drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s with target sizes drawn from `size` and elements
+/// from `element`. May yield fewer elements when the element space is too
+/// small to reach the target.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(20) + 20 {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_lengths_follow_the_size_range() {
+        let mut rng = TestRng::for_case("vec", 0);
+        let strat = vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_elements_are_distinct() {
+        let mut rng = TestRng::for_case("set", 0);
+        let strat = btree_set(any::<u8>(), 1..40);
+        for _ in 0..100 {
+            let s = strat.sample(&mut rng);
+            assert!(!s.is_empty() && s.len() < 40);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`Standard`] distribution behind [`Rng::gen`](crate::Rng::gen) and
+//! uniform range sampling behind [`Rng::gen_range`](crate::Rng::gen_range).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::{unit_f64, RngCore};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: uniform over all values of the type (and
+/// `[0, 1)` for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = Standard.sample(rng);
+        v as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T, const N: usize> Distribution<[T; N]> for Standard
+where
+    Standard: Distribution<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [T; N] {
+        std::array::from_fn(|_| Standard.sample(rng))
+    }
+}
+
+/// Types that support uniform sampling over a sub-range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)` (`high` inclusive when
+    /// `inclusive` is set).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from an empty range");
+        T::sample_uniform(start, end, true, rng)
+    }
+}
+
+/// Draws a `u64` below `span` (`span == 0` means the full 64-bit range)
+/// using the multiply-shift reduction.
+fn u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // Work in u64 offset space; spans here always fit in u64
+                // (the workspace never samples 128-bit ranges).
+                let span = (high as i128 - low as i128) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                let offset = u64_below(span, rng);
+                ((low as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        let span = high - low + u128::from(inclusive);
+        let raw: u128 = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if span == 0 {
+            raw
+        } else {
+            low + raw % span
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        low + unit_f64(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        low + (unit_f64(rng) as f32) * (high - low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_cover_their_support() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 appear");
+    }
+
+    #[test]
+    fn inclusive_range_reaches_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let got_max = (0..2000).any(|_| rng.gen_range(0u8..=3) == 3);
+        assert!(got_max);
+    }
+
+    #[test]
+    fn signed_ranges_handle_negative_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let _: u32 = rng.gen_range(5..5);
+    }
+}

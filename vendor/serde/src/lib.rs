@@ -1,0 +1,70 @@
+//! Offline stand-in for the subset of `serde` (+`serde_derive`) this
+//! workspace uses.
+//!
+//! The build environment has no registry access, so instead of the real
+//! serde data model the workspace ships a small value-based one:
+//!
+//! * [`Serialize`] converts a value into a JSON [`Value`];
+//! * [`Deserialize`] reconstructs a value from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   stub) generates both impls for plain structs, tuple structs and
+//!   externally-tagged enums — the only shapes this workspace derives.
+//!
+//! Struct fields serialize in declaration order (matching real
+//! `serde_json`'s streaming serializer) and enums use the externally-tagged
+//! representation, so the JSON this produces is shape-compatible with real
+//! serde for every type in the tree. Swap for the real crates by editing
+//! `[workspace.dependencies]` once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{parse_json, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted to a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+/// Looks up `key` in an object's entry list, yielding `Null` for missing
+/// keys (so `Option` fields deserialize to `None`). Used by derived code.
+pub fn obj_get<'a>(entries: &'a [(String, Value)], key: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(&NULL_VALUE, |(_, v)| v)
+}

@@ -1,0 +1,416 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace derives:
+//!
+//! * structs with named fields (serialized as objects in declaration
+//!   order),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs (serialized as `null`),
+//! * enums in serde's default externally-tagged representation
+//!   (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generics, `where` clauses and `#[serde(...)]` attributes are not
+//! supported and fail the build with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tok: &TokenTree, name: &str) -> bool {
+    matches!(tok, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Advances past leading `#[...]` attributes (including doc comments, which
+/// arrive in attribute form) and visibility modifiers.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 1; // '#'
+            assert!(
+                matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket),
+                "expected [...] after '#'"
+            );
+            i += 1;
+            continue;
+        }
+        if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if i < toks.len() {
+                if let TokenTree::Group(g) = &toks[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Skips a type (or other) token run until a top-level `,`, tracking angle
+/// brackets, which are ordinary puncts in `proc_macro`. Returns the index
+/// *after* the comma (or the end).
+fn skip_past_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            angle += 1;
+        } else if is_punct(&toks[i], '>') {
+            angle -= 1;
+        } else if is_punct(&toks[i], ',') && angle == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected field name, found {:?}", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected ':' after field name");
+        i = skip_past_comma(&toks, i + 1);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        i = skip_past_comma(&toks, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected variant name, found {:?}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            }
+        } else {
+            Fields::Unit
+        };
+        if i < toks.len() {
+            assert!(
+                is_punct(&toks[i], ','),
+                "explicit enum discriminants are not supported by the serde stub"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde stub derive supports only structs and enums");
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("the serde stub derive does not support generic types ({name})");
+    }
+    if is_enum {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("expected enum body");
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        }
+    } else {
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Fields::Unit,
+            other => panic!("unexpected struct body: {other:?}"),
+        };
+        Item::Struct { name, fields }
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => named_to_value(names, "self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let bindings = field_names.join(", ");
+                        let inner = named_to_value(field_names, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bindings} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `Value::Object` construction for a named-field set. `prefix` is `self.`
+/// for structs and empty for destructured enum variants.
+fn named_to_value(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn named_from_value(type_path: &str, names: &[String], obj_expr: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::obj_get({obj_expr}, \"{f}\"))?")
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", fields.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let construct = named_from_value(name, names, "__obj");
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         Ok({construct})"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Named(field_names) => {
+                        let construct =
+                            named_from_value(&format!("{name}::{vn}"), field_names, "__obj");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {vn}\"))?;\n\
+                                 Ok({construct})\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for variant {vn}\"))?;\n\
+                                 if __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for variant {vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::Error::custom(format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => Err(::serde::Error::custom(format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::custom(\"expected string or single-key object for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`from_str`],
+//! [`from_slice`] and the [`json!`] macro.
+//!
+//! Built on the value model of the sibling `serde` stub. Struct fields
+//! keep declaration order and enums use the externally-tagged form, so the
+//! emitted JSON is shape-compatible with the real crate for every type in
+//! this tree.
+
+#![forbid(unsafe_code)]
+
+pub use serde::{parse_json, Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+/// Infallible in this stub; the `Result` mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Infallible in this stub; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+/// Infallible in this stub; the `Result` mirrors the real API.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+/// Returns an [`Error`] on syntax errors or shape mismatches.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_json(s)?)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+/// Returns an [`Error`] on invalid UTF-8, syntax errors or shape
+/// mismatches.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8"))?;
+    from_str(s)
+}
+
+/// Converts any serializable value into a [`Value`] (used by [`json!`]).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Supports objects with
+/// string-literal keys and expression values, arrays, `null`, and plain
+/// expressions of serializable types — the shapes this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        label: String,
+        tags: Vec<u32>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Empty,
+        Dot { at: Point },
+        Pair(u32, u32),
+        Wrapped(String),
+    }
+
+    fn point() -> Point {
+        Point {
+            x: 1.5,
+            label: "origin \"quoted\"".to_string(),
+            tags: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn derived_struct_roundtrips_and_keeps_field_order() {
+        let p = point();
+        let json = to_string(&p).unwrap();
+        assert!(
+            json.starts_with("{\"x\":1.5,\"label\""),
+            "order kept: {json}"
+        );
+        assert_eq!(from_str::<Point>(&json).unwrap(), p);
+        let pretty = to_string_pretty(&p).unwrap();
+        assert_eq!(from_str::<Point>(&pretty).unwrap(), p);
+    }
+
+    #[test]
+    fn derived_enum_uses_external_tagging() {
+        assert_eq!(to_string(&Shape::Empty).unwrap(), "\"Empty\"");
+        let dot = Shape::Dot { at: point() };
+        let json = to_string(&dot).unwrap();
+        assert!(json.starts_with("{\"Dot\":{\"at\""), "got {json}");
+        assert_eq!(from_str::<Shape>(&json).unwrap(), dot);
+        let pair = Shape::Pair(3, 4);
+        assert_eq!(to_string(&pair).unwrap(), "{\"Pair\":[3,4]}");
+        assert_eq!(from_str::<Shape>("{\"Pair\":[3,4]}").unwrap(), pair);
+        let wrapped = Shape::Wrapped("w".into());
+        assert_eq!(to_string(&wrapped).unwrap(), "{\"Wrapped\":\"w\"}");
+        assert_eq!(from_str::<Shape>("{\"Wrapped\":\"w\"}").unwrap(), wrapped);
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        assert!(from_str::<Shape>("\"Nope\"").is_err());
+        assert!(from_str::<Shape>("{\"Nope\":3}").is_err());
+    }
+
+    #[test]
+    fn json_macro_builds_objects_in_order() {
+        let token: Option<u32> = None;
+        let v = json!({
+            "command": "ping",
+            "sequence": 7u64,
+            "token": token,
+        });
+        assert_eq!(
+            v.to_string(),
+            "{\"command\":\"ping\",\"sequence\":7,\"token\":null}"
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1u8, 2u8]).to_string(), "[1,2]");
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let p = point();
+        let bytes = to_vec(&p).unwrap();
+        assert_eq!(from_slice::<Point>(&bytes).unwrap(), p);
+    }
+}
