@@ -3,13 +3,17 @@
 //! ```text
 //! run_experiments --list
 //! run_experiments --only fig4,fig7 --scale full --jobs 8 --out results/
+//! run_experiments --only fig6 --cache-dir .exp-cache --set steps=5
 //! ```
 //!
 //! Selected scenarios (default: all) run through the parallel
 //! [`sim::Runner`]; results render to stdout (`--format table|csv|json`)
 //! and, with `--out DIR`, to per-report `.json`/`.csv` files plus a
 //! `summary.json`. Reports are deterministic for a given `--seed`
-//! regardless of `--jobs`.
+//! regardless of `--jobs`, and with `--cache-dir DIR` (or
+//! `ONIONBOTS_CACHE_DIR`) previously computed parts replay from the
+//! content-addressed [`sim::ResultCache`] without changing a byte of the
+//! output.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -18,8 +22,8 @@ use std::time::Instant;
 use onionbots_bench::scenarios;
 use onionbots_bench::Scale;
 use sim::experiment::{CsvDirSink, JsonDirSink, ReportSink, TableSink};
-use sim::scenario_api::ScenarioParams;
-use sim::Runner;
+use sim::scenario_api::{parse_override, ScenarioParams};
+use sim::{ResultCache, Runner};
 
 struct Options {
     list: bool,
@@ -29,6 +33,10 @@ struct Options {
     seed: u64,
     out: Option<String>,
     format: Format,
+    overrides: Vec<(String, String)>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    refresh: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -47,8 +55,13 @@ Options:
   --scale quick|full  population scale (default: quick; env ONIONBOTS_FULL=1)
   --jobs N            worker threads (default: 1)
   --seed N            base RNG seed (default: 2015)
+  --set KEY=VALUE     scenario override, repeatable (e.g. --set steps=5)
   --out DIR           also write per-report .json/.csv files and summary.json
   --format FMT        stdout rendering: table (default), csv, json
+  --cache-dir DIR     replay cached parts / store fresh ones under DIR
+                      (default: env ONIONBOTS_CACHE_DIR; unset = no cache)
+  --no-cache          ignore --cache-dir and ONIONBOTS_CACHE_DIR
+  --refresh           re-execute cached parts and overwrite their entries
   --help              show this help
 ";
 
@@ -61,6 +74,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: ScenarioParams::default().seed,
         out: None,
         format: Format::Table,
+        overrides: Vec::new(),
+        cache_dir: None,
+        no_cache: false,
+        refresh: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -107,7 +124,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("invalid --seed value '{value}'"))?;
             }
+            "--set" => {
+                let value = value_for("--set")?;
+                options.overrides.push(parse_override(&value)?);
+            }
             "--out" => options.out = Some(value_for("--out")?),
+            "--cache-dir" => options.cache_dir = Some(value_for("--cache-dir")?),
+            "--no-cache" => options.no_cache = true,
+            "--refresh" => options.refresh = true,
             "--format" => {
                 let value = value_for("--format")?;
                 options.format = match value.as_str() {
@@ -164,11 +188,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let params = ScenarioParams {
+    let mut params = ScenarioParams {
         full_scale: options.scale.is_full(),
         seed: options.seed,
         ..ScenarioParams::default()
     };
+    // Repeated --set flags: later flags win, matching every other option.
+    for (key, value) in options.overrides {
+        params.overrides.insert(key, value);
+    }
     eprintln!(
         "running {} scenario(s) at {:?} scale with {} job(s), seed {}",
         selected.len(),
@@ -176,8 +204,33 @@ fn main() -> ExitCode {
         options.jobs,
         params.seed
     );
+    let cache_dir = match (&options.no_cache, &options.cache_dir) {
+        (true, _) => None,
+        (false, Some(dir)) => Some(dir.clone()),
+        (false, None) => std::env::var("ONIONBOTS_CACHE_DIR")
+            .ok()
+            .filter(|dir| !dir.is_empty()),
+    };
+    let mut runner = Runner::new(params).jobs(options.jobs);
+    let mut cache_active = false;
+    if let Some(dir) = cache_dir {
+        // An unusable cache location degrades to an uncached run: caching
+        // is an accelerator, never a prerequisite.
+        match ResultCache::open(&dir) {
+            Ok(cache) => {
+                runner = runner.with_cache(cache).refresh(options.refresh);
+                cache_active = true;
+            }
+            Err(error) => {
+                eprintln!("warning: cache dir {dir} is unusable ({error}); running uncached");
+            }
+        }
+    }
+    if options.refresh && !cache_active {
+        eprintln!("warning: --refresh has no effect without an active cache");
+    }
     let started = Instant::now();
-    let summary = Runner::new(params).jobs(options.jobs).run(&selected);
+    let summary = runner.run(&selected);
     let elapsed = started.elapsed();
 
     let mut sinks: Vec<Box<dyn ReportSink>> = Vec::new();

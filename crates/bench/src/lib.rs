@@ -7,11 +7,15 @@
 //! [`sim::Scenario`](sim::scenario_api::Scenario) in [`scenarios`]; the
 //! `run_experiments` binary lists, selects and executes them in parallel
 //! (`run_experiments --list`, `run_experiments --only fig4,fig7 --scale
-//! full --jobs 8 --out results/`). The per-figure binaries in `src/bin/`
-//! are thin wrappers that delegate to the same registry, and the Criterion
-//! benchmarks in `benches/` cover the micro-level costs (repair, routing,
-//! metrics, descriptors, crypto, SOAP iterations, event-queue
-//! throughput).
+//! full --jobs 8 --out results/`). Scenario knobs are overridable with
+//! repeated `--set KEY=VALUE` flags, and `--cache-dir DIR` (or
+//! `ONIONBOTS_CACHE_DIR`) replays previously computed parts from the
+//! content-addressed [`sim::ResultCache`] with byte-identical output —
+//! see `EXPERIMENTS.md` at the repository root for the full walkthrough.
+//! The per-figure binaries in `src/bin/` are thin wrappers that delegate
+//! to the same registry, and the Criterion benchmarks in `benches/` cover
+//! the micro-level costs (repair, routing, metrics, descriptors, crypto,
+//! SOAP iterations, event-queue throughput).
 //!
 //! Scenarios default to a scaled-down population so that a full
 //! regeneration run finishes in minutes on a laptop; pass `--scale full`

@@ -1,6 +1,10 @@
 //! Ablation: SOAP versus the §VII-A counter-defenses (proof of work and
 //! rate limiting), quantifying the resilience/recoverability trade-off the
 //! paper leaves open.
+//!
+//! Overrides (`--set KEY=VALUE`):
+//! * `n` — paper-scale botnet population (default 1000);
+//! * `k` — overlay degree (default 10).
 
 use mitigation::defended_soap::{run_defended_soap, DefenseConfig};
 use mitigation::defenses::PeeringRateLimiter;
@@ -59,6 +63,10 @@ impl Scenario for SoapDefenses {
         "Ablation — SOAP against defended OnionBots"
     }
 
+    fn override_keys(&self) -> Option<Vec<&str>> {
+        Some(vec!["n", "k"])
+    }
+
     fn parts(&self, _params: &ScenarioParams) -> usize {
         defense_configs().len()
     }
@@ -70,8 +78,8 @@ impl Scenario for SoapDefenses {
         _rng: &mut StdRng,
     ) -> Vec<ExperimentReport> {
         let (label, defense) = defense_configs().swap_remove(part);
-        let n = Scale::from_params(params).population(1000);
-        let k = 10usize;
+        let n = Scale::from_params(params).population(params.override_usize("n", 1000));
+        let k = params.override_usize("k", 10);
         // Every defense configuration attacks the *same* overlay (same
         // seed), so differences in the outcome columns are attributable to
         // the defense alone — the per-part RNG is deliberately unused.
@@ -158,5 +166,22 @@ mod tests {
         };
         assert_eq!(hashes(&none[0]), 0.0, "no PoW, no hashing");
         assert!(hashes(&pow[0]) > 0.0, "PoW forces hash work");
+    }
+
+    #[test]
+    fn population_override_flows_into_the_report_title() {
+        let scenario = SoapDefenses;
+        let params = ScenarioParams::default().with_override("n", "600");
+        let mut rng = StdRng::seed_from_u64(0);
+        let reports = scenario.run_part(0, &params, &mut rng);
+        // Quick scale divides the paper population by 10: n = 600 -> 100
+        // (the Scale::population floor).
+        assert!(
+            reports[0].title.contains("n = 100"),
+            "title was '{}'",
+            reports[0].title
+        );
+        let keys = scenario.override_keys().unwrap();
+        assert!(keys.contains(&"n") && keys.contains(&"k"));
     }
 }

@@ -1,7 +1,13 @@
 //! Figure 6: number of simultaneous node deletions needed to partition a
-//! 10-regular graph, for sizes n = 1000 .. 15000. The paper reports the
+//! `k`-regular graph, for sizes n = 1000 .. 15000. The paper reports the
 //! threshold tracks roughly 40% of the nodes (the `f(x) = 0.4x` reference
 //! line).
+//!
+//! Overrides (`--set KEY=VALUE`):
+//! * `k` — overlay degree (default 10, the paper's setting);
+//! * `steps` — number of population sizes swept (default 15);
+//! * `step-nodes` — paper-scale population increment per step (default
+//!   1000, i.e. sizes 1000, 2000, ..).
 
 use rand::rngs::StdRng;
 use sim::experiment::{ExperimentReport, Series};
@@ -11,6 +17,8 @@ use sim::scenario_api::{Scenario, ScenarioParams};
 use crate::Scale;
 
 const STEPS: usize = 15;
+const DEGREE: usize = 10;
+const STEP_NODES: usize = 1000;
 
 /// The Figure 6 scenario; one part per graph size, merged point-wise.
 pub struct PartitionThreshold;
@@ -21,11 +29,15 @@ impl Scenario for PartitionThreshold {
     }
 
     fn title(&self) -> &str {
-        "Figure 6 — simultaneous deletions needed to partition a 10-regular graph"
+        "Figure 6 — simultaneous deletions needed to partition a k-regular graph (default k = 10)"
     }
 
-    fn parts(&self, _params: &ScenarioParams) -> usize {
-        STEPS
+    fn override_keys(&self) -> Option<Vec<&str>> {
+        Some(vec!["k", "steps", "step-nodes"])
+    }
+
+    fn parts(&self, params: &ScenarioParams) -> usize {
+        params.override_usize("steps", STEPS).max(1)
     }
 
     fn run_part(
@@ -34,13 +46,14 @@ impl Scenario for PartitionThreshold {
         params: &ScenarioParams,
         rng: &mut StdRng,
     ) -> Vec<ExperimentReport> {
-        let paper_n = (part + 1) * 1000;
+        let k = params.override_usize("k", DEGREE);
+        let paper_n = (part + 1) * params.override_usize("step-nodes", STEP_NODES);
         let n = Scale::from_params(params).population(paper_n);
-        let threshold = partition_threshold(n, 10, (n / 100).max(1), rng);
+        let threshold = partition_threshold(n, k, (n / 100).max(1), rng);
 
         let mut report = ExperimentReport::new(
             "fig6",
-            "Deletions needed to partition (10-regular)",
+            format!("Deletions needed to partition ({k}-regular)"),
             "nodes",
             "nodes deleted",
         );
@@ -89,6 +102,43 @@ mod tests {
                 (0.2..0.95).contains(&fraction),
                 "n = {x}: fraction {fraction}"
             );
+        }
+    }
+
+    #[test]
+    fn overrides_change_the_sweep() {
+        let params = ScenarioParams::default()
+            .with_override("steps", "3")
+            .with_override("step-nodes", "2000");
+        assert_eq!(PartitionThreshold.parts(&params), 3);
+        let reports = PartitionThreshold.run(&params);
+        let xs = &reports[0].series[0].x;
+        assert_eq!(xs.len(), 3);
+        // Quick scale divides paper sizes by 10: 2000/4000/6000 -> 200/400/600.
+        assert_eq!(xs, &vec![200.0, 400.0, 600.0]);
+
+        // A sparser overlay partitions earlier than the default k = 10 at
+        // the same population, so the k override demonstrably flows in.
+        let sparse = ScenarioParams::default()
+            .with_override("steps", "1")
+            .with_override("step-nodes", "5000")
+            .with_override("k", "4");
+        let dense = ScenarioParams::default()
+            .with_override("steps", "1")
+            .with_override("step-nodes", "5000");
+        let sparse_y = PartitionThreshold.run(&sparse)[0].series[0].y[0];
+        let dense_y = PartitionThreshold.run(&dense)[0].series[0].y[0];
+        assert!(
+            sparse_y < dense_y,
+            "k = 4 should partition before k = 10 (got {sparse_y} vs {dense_y})"
+        );
+    }
+
+    #[test]
+    fn declared_override_keys_cover_the_consumed_ones() {
+        let keys = PartitionThreshold.override_keys().unwrap();
+        for consumed in ["k", "steps", "step-nodes"] {
+            assert!(keys.contains(&consumed), "missing '{consumed}'");
         }
     }
 }

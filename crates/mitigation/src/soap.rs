@@ -13,7 +13,7 @@
 //! Because Tor decouples addresses from hosts, all clones can run on one
 //! machine — the attack is cheap for the defender.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use onion_graph::graph::NodeId;
 use onionbots_core::overlay::DdsrOverlay;
@@ -71,28 +71,33 @@ pub struct SoapOutcome {
 }
 
 /// The state of a SOAP campaign against a [`DdsrOverlay`].
+///
+/// Both sets are ordered: the campaign iterates `discovered` to pick
+/// peering targets while drawing from the seeded RNG, so hash-randomized
+/// iteration order would make two same-seed campaigns diverge (and break
+/// the result cache's byte-identical-replay contract).
 #[derive(Debug)]
 pub struct SoapAttack {
     config: SoapConfig,
-    clones: HashSet<NodeId>,
-    discovered: HashSet<NodeId>,
+    clones: BTreeSet<NodeId>,
+    discovered: BTreeSet<NodeId>,
 }
 
 impl SoapAttack {
     /// Starts a campaign from one compromised bot whose peer list the
     /// defender has recovered.
     pub fn new(config: SoapConfig, initially_compromised: NodeId) -> Self {
-        let mut discovered = HashSet::new();
+        let mut discovered = BTreeSet::new();
         discovered.insert(initially_compromised);
         SoapAttack {
             config,
-            clones: HashSet::new(),
+            clones: BTreeSet::new(),
             discovered,
         }
     }
 
     /// Nodes known to be defender clones.
-    pub fn clones(&self) -> &HashSet<NodeId> {
+    pub fn clones(&self) -> &BTreeSet<NodeId> {
         &self.clones
     }
 

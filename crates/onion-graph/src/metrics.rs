@@ -130,16 +130,16 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
 /// Exact diameter of the largest connected component (all-pairs BFS).
 ///
 /// Returns `None` for an empty graph. When the graph is partitioned the
-/// diameter of the *largest* component is reported, mirroring how the paper
-/// plots a finite diameter for DDSR while a shattered normal graph's
-/// diameter "is infinite".
+/// diameter of the *largest* component (by node count, ties broken by
+/// smallest node id) is reported, mirroring how the paper plots a finite
+/// diameter for DDSR while a shattered normal graph's diameter "is
+/// infinite". A long thin minority component therefore cannot inflate the
+/// reported value.
 pub fn diameter(graph: &Graph) -> Option<usize> {
-    let nodes = graph.nodes();
-    if nodes.is_empty() {
-        return None;
-    }
+    let components = crate::components::connected_components(graph);
+    let largest = components.first()?;
     let mut best = 0usize;
-    for &u in &nodes {
+    for &u in largest {
         if let Some(ecc) = eccentricity(graph, u) {
             best = best.max(ecc);
         }
@@ -148,6 +148,10 @@ pub fn diameter(graph: &Graph) -> Option<usize> {
 }
 
 /// Diameter lower bound estimated from `samples` random BFS sources.
+///
+/// Sources are drawn from the whole graph, so on a partitioned graph this
+/// estimates the largest eccentricity over all components — use
+/// [`diameter`] when the largest-component semantics matter exactly.
 pub fn sampled_diameter<R: Rng + ?Sized>(
     graph: &Graph,
     samples: usize,
@@ -278,6 +282,26 @@ mod tests {
         assert_eq!(diameter(&Graph::new()), None);
         let (g, _) = Graph::with_nodes(1);
         assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn diameter_of_partitioned_graph_is_the_largest_components() {
+        // Regression: the diameter used to be the max eccentricity over
+        // *all* components, so a long thin minority component (the 4-node
+        // path, diameter 3) overrode the largest component (the 5-node
+        // star, diameter 2).
+        let (mut g, ids) = Graph::with_nodes(9);
+        for &leaf in &ids[1..5] {
+            g.add_edge(ids[0], leaf);
+        }
+        for w in ids[5..9].windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        assert_eq!(
+            diameter(&g),
+            Some(2),
+            "the 5-node star is the largest component"
+        );
     }
 
     #[test]

@@ -166,19 +166,36 @@ impl DdsrOverlay {
             if deg <= self.config.d_max {
                 return;
             }
-            let neighbors: Vec<NodeId> = match self.graph.neighbors(node) {
-                Some(set) => set.iter().copied().collect(),
+            let neighbors: Vec<(NodeId, usize)> = match self.graph.neighbors(node) {
+                Some(set) => set
+                    .iter()
+                    .filter_map(|&n| self.graph.degree(n).map(|d| (n, d)))
+                    .collect(),
                 None => return,
             };
-            let max_degree = neighbors
+            // A victim at degree <= d_min would be pushed below d_min by the
+            // edge removal, so it is only eligible when no neighbor sits
+            // above d_min — the paper's unconditional fallback, "only
+            // applicable as long as there are enough surviving nodes".
+            let eligible: Vec<&(NodeId, usize)> = {
+                let above_min: Vec<&(NodeId, usize)> = neighbors
+                    .iter()
+                    .filter(|&&(_, d)| d > self.config.d_min)
+                    .collect();
+                if above_min.is_empty() {
+                    neighbors.iter().collect()
+                } else {
+                    above_min
+                }
+            };
+            let max_degree = match eligible.iter().map(|&&(_, d)| d).max() {
+                Some(d) => d,
+                None => return,
+            };
+            let candidates: Vec<NodeId> = eligible
                 .iter()
-                .filter_map(|&n| self.graph.degree(n))
-                .max()
-                .unwrap_or(0);
-            let candidates: Vec<NodeId> = neighbors
-                .iter()
-                .copied()
-                .filter(|&n| self.graph.degree(n) == Some(max_degree))
+                .filter(|&&&(_, d)| d == max_degree)
+                .map(|&&(n, _)| n)
                 .collect();
             let victim = match candidates.choose(rng) {
                 Some(&v) => v,
@@ -211,10 +228,7 @@ impl DdsrOverlay {
         let mut candidates = self.graph.nodes();
         candidates.retain(|&n| n != new);
         candidates.shuffle(rng);
-        for peer in candidates
-            .into_iter()
-            .take(self.config.d_max.min(self.config.d_min.max(1)))
-        {
+        for peer in candidates.into_iter().take(self.config.d_max) {
             self.graph.add_edge(new, peer);
         }
         new
@@ -399,6 +413,90 @@ mod tests {
         let deg = ov.graph().degree(new).unwrap();
         assert!(deg >= 1);
         assert!(deg <= ov.config().d_max);
+    }
+
+    #[test]
+    fn add_node_peers_with_up_to_d_max_candidates() {
+        // Regression: the old expression `d_max.min(d_min.max(1))` collapsed
+        // to `d_min`, so a bootstrapping bot joined with only d_min peers
+        // despite the documented "up to d_max".
+        let (mut ov, _, mut rng) = overlay(50, 6, true, 7);
+        assert!(ov.config().d_min < ov.config().d_max);
+        let new = ov.add_node(&mut rng);
+        assert_eq!(
+            ov.graph().degree(new),
+            Some(ov.config().d_max),
+            "with plenty of candidates the bootstrap must reach d_max, not stop at d_min"
+        );
+    }
+
+    #[test]
+    fn pruning_spares_d_min_degree_neighbors_when_alternatives_exist() {
+        // Build the neighborhood by hand: removing v repairs u up to
+        // d_max + 1, and u's peers then include `a` at exactly d_min plus a
+        // higher-degree alternative `b`. The prune step must shed `b` (the
+        // alternative) and leave `a` at d_min.
+        let config = DdsrConfig {
+            d_min: 2,
+            d_max: 3,
+            pruning: true,
+        };
+        let (mut g, ids) = onion_graph::graph::Graph::with_nodes(9);
+        let (v, u, p, q, a, b, x, y, z) = (
+            ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8],
+        );
+        for (s, t) in [
+            (v, u),
+            (v, p),
+            (v, q),
+            (u, a),
+            (u, b),
+            (a, x),
+            (b, y),
+            (b, z),
+        ] {
+            g.add_edge(s, t);
+        }
+        let mut overlay = DdsrOverlay::from_graph(g, config);
+        assert_eq!(overlay.graph().degree(a), Some(config.d_min));
+        let mut rng = StdRng::seed_from_u64(11);
+        overlay.remove_node_with_repair(v, &mut rng);
+        // Repair linked u with p and q, pushing u to d_max + 1; pruning must
+        // pick the alternative victim b (degree 3 > d_min), never a.
+        assert!(
+            overlay.graph().has_edge(u, a),
+            "a d_min-degree neighbor must survive pruning while an alternative victim exists"
+        );
+        assert!(
+            !overlay.graph().has_edge(u, b),
+            "the higher-degree alternative is the pruning victim"
+        );
+        assert!(overlay.graph().degree(a).unwrap() >= config.d_min);
+        assert!(overlay.graph().degree(u).unwrap() <= config.d_max);
+    }
+
+    #[test]
+    fn pruning_falls_back_to_unconditional_rule_without_alternatives() {
+        // When every peer already sits at or below d_min the paper's bound
+        // is "only applicable as long as there are enough surviving nodes":
+        // pruning still has to bring the node back under d_max.
+        let config = DdsrConfig {
+            d_min: 2,
+            d_max: 2,
+            pruning: true,
+        };
+        let (mut g, ids) = onion_graph::graph::Graph::with_nodes(6);
+        let (v, u, p, q, a, x) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        for (s, t) in [(v, u), (v, p), (v, q), (u, a), (a, x)] {
+            g.add_edge(s, t);
+        }
+        let mut overlay = DdsrOverlay::from_graph(g, config);
+        let mut rng = StdRng::seed_from_u64(13);
+        overlay.remove_node_with_repair(v, &mut rng);
+        assert!(
+            overlay.graph().degree(u).unwrap() <= config.d_max,
+            "pruning must still enforce d_max when no peer exceeds d_min"
+        );
     }
 
     #[test]

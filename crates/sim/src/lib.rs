@@ -16,6 +16,10 @@
 //!   items across `std::thread` workers with per-part deterministic seeds
 //!   and collects a [`RunSummary`] whose JSON is byte-identical for any
 //!   worker count.
+//! * [`cache`] — the persistent, content-addressed [`ResultCache`]: stores
+//!   each part's reports under a SHA-256 fingerprint of *(scenario id,
+//!   part, seed, scale, overrides, format version)* so re-runs only
+//!   execute changed parts, with byte-identical summaries either way.
 //! * [`experiment`] — data series, CSV / table / JSON rendering and the
 //!   pluggable [`ReportSink`]s (console table, CSV directory, JSON
 //!   directory) used by the `run_experiments` binary in `crates/bench`.
@@ -40,15 +44,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod engine;
 pub mod experiment;
 pub mod runner;
 pub mod scenario;
 pub mod scenario_api;
 
+pub use cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache, CACHE_FORMAT_VERSION};
 pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
 pub use runner::{RunSummary, Runner, ScenarioOutcome};
 pub use scenario::{gradual_takedown, partition_threshold, TakedownMode, TakedownParams};
 pub use scenario_api::{
-    merge_reports, part_seed, Scenario, ScenarioParams, ScenarioRegistry, UnknownScenario,
+    merge_reports, parse_override, part_seed, Scenario, ScenarioParams, ScenarioRegistry,
+    UnknownScenario,
 };

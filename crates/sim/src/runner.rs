@@ -8,14 +8,22 @@
 //! [`part_seed`](crate::scenario_api::part_seed) and results are merged in
 //! part order, which makes a `RunSummary` — including its JSON rendering —
 //! byte-identical for any worker count.
+//!
+//! With [`Runner::with_cache`] a [`ResultCache`] is consulted before
+//! scheduling: parts whose fingerprint resolves to a valid entry are
+//! replayed from disk, only the misses are fanned across the workers, and
+//! fresh results are written back — the summary stays byte-identical to an
+//! uncached run because per-part seeding makes cached and recomputed
+//! reports interchangeable.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache};
 use crate::experiment::ExperimentReport;
 use crate::scenario_api::{merge_reports, part_seed, Scenario, ScenarioParams};
 
@@ -57,17 +65,25 @@ impl RunSummary {
     }
 }
 
-/// Executes a selected set of scenarios, optionally in parallel.
+/// Executes a selected set of scenarios, optionally in parallel and
+/// optionally backed by a [`ResultCache`].
 #[derive(Debug, Clone)]
 pub struct Runner {
     params: ScenarioParams,
     jobs: usize,
+    cache: Option<ResultCache>,
+    refresh: bool,
 }
 
 impl Runner {
-    /// Creates a single-threaded runner.
+    /// Creates a single-threaded, uncached runner.
     pub fn new(params: ScenarioParams) -> Self {
-        Runner { params, jobs: 1 }
+        Runner {
+            params,
+            jobs: 1,
+            cache: None,
+            refresh: false,
+        }
     }
 
     /// Sets the number of worker threads (clamped to at least 1).
@@ -76,12 +92,39 @@ impl Runner {
         self
     }
 
+    /// Attaches a result cache: valid entries are replayed instead of
+    /// executed, fresh results are stored back.
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// With `refresh` set, existing cache entries are bypassed (counted as
+    /// invalidated) and overwritten with freshly executed results.
+    pub fn refresh(mut self, refresh: bool) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
     /// Runs the scenarios and returns their deterministic summary.
     ///
     /// Work items are *(scenario, part)* pairs handed out from a shared
     /// queue; results are reassembled in `(scenario, part)` order before
-    /// merging, so scheduling order never leaks into the output.
+    /// merging, so neither scheduling order nor cache hits leak into the
+    /// output.
     pub fn run(&self, scenarios: &[Arc<dyn Scenario>]) -> RunSummary {
+        self.run_with_stats(scenarios).0
+    }
+
+    /// Like [`run`](Self::run), additionally returning the cache counters
+    /// (`None` when no cache is attached). When a cache is attached the
+    /// counters are also reported on stderr, as are store failures — a
+    /// cache that stops being writable mid-run degrades to a warning, never
+    /// a failed run.
+    pub fn run_with_stats(
+        &self,
+        scenarios: &[Arc<dyn Scenario>],
+    ) -> (RunSummary, Option<CacheStats>) {
         let part_counts: Vec<usize> = scenarios
             .iter()
             .map(|s| s.parts(&self.params).max(1))
@@ -93,18 +136,82 @@ impl Runner {
             }
         }
 
-        let mut results: Vec<(usize, usize, Vec<ExperimentReport>)> =
-            if self.jobs == 1 || work.len() <= 1 {
-                work.into_iter()
+        // Cache pass: resolve every work item to either a replayed result
+        // or a pending execution (with the fingerprint to store under).
+        let mut stats = self.cache.as_ref().map(|_| CacheStats::default());
+        let mut cached: Vec<(usize, usize, Vec<ExperimentReport>)> = Vec::new();
+        let mut pending: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut fingerprints: HashMap<(usize, usize), PartFingerprint> = HashMap::new();
+        match (&self.cache, stats.as_mut()) {
+            (Some(cache), Some(stats)) => {
+                for (scenario_idx, part) in work {
+                    let fp =
+                        PartFingerprint::compute(&*scenarios[scenario_idx], part, &self.params);
+                    if self.refresh {
+                        if cache.contains(&fp) {
+                            stats.invalidated += 1;
+                        } else {
+                            stats.misses += 1;
+                        }
+                    } else {
+                        match cache.lookup(&fp) {
+                            CacheLookup::Hit(reports) => {
+                                stats.hits += 1;
+                                cached.push((scenario_idx, part, reports));
+                                continue;
+                            }
+                            CacheLookup::Miss => stats.misses += 1,
+                            CacheLookup::Invalid => stats.invalidated += 1,
+                        }
+                    }
+                    pending.push_back((scenario_idx, part));
+                    fingerprints.insert((scenario_idx, part), fp);
+                }
+            }
+            _ => pending = work,
+        }
+
+        let executed: Vec<(usize, usize, Vec<ExperimentReport>)> =
+            if self.jobs == 1 || pending.len() <= 1 {
+                pending
+                    .into_iter()
                     .map(|(scenario_idx, part)| {
                         let reports = run_one(&*scenarios[scenario_idx], part, &self.params);
                         (scenario_idx, part, reports)
                     })
                     .collect()
             } else {
-                self.run_parallel(scenarios, work)
+                self.run_parallel(scenarios, pending)
             };
 
+        // Write fresh results back. `fingerprints` is only populated on the
+        // cache path, keyed by (scenario, part) rather than order because
+        // the parallel pool returns results in completion order.
+        if let (Some(cache), Some(stats)) = (&self.cache, stats.as_mut()) {
+            let mut first_error: Option<std::io::Error> = None;
+            for (scenario_idx, part, reports) in &executed {
+                let fp = fingerprints
+                    .get(&(*scenario_idx, *part))
+                    .expect("every executed item was fingerprinted");
+                match cache.store(fp, reports) {
+                    Ok(()) => stats.stored += 1,
+                    Err(e) => {
+                        stats.store_failures += 1;
+                        first_error.get_or_insert(e);
+                    }
+                }
+            }
+            if let Some(e) = first_error {
+                eprintln!(
+                    "warning: {} cache write(s) failed ({e}); results were computed but not cached",
+                    stats.store_failures
+                );
+            }
+            eprintln!("cache: {stats}");
+        }
+
+        let mut results = cached;
+        results.extend(executed);
         results.sort_by_key(|&(scenario_idx, part, _)| (scenario_idx, part));
         let mut outcomes: Vec<ScenarioOutcome> = scenarios
             .iter()
@@ -119,10 +226,13 @@ impl Runner {
         for (scenario_idx, _part, reports) in results {
             merge_reports(&mut outcomes[scenario_idx].reports, reports);
         }
-        RunSummary {
-            params: self.params.clone(),
-            outcomes,
-        }
+        (
+            RunSummary {
+                params: self.params.clone(),
+                outcomes,
+            },
+            stats,
+        )
     }
 
     fn run_parallel(
@@ -243,5 +353,124 @@ mod tests {
         let summary = Runner::new(ScenarioParams::with_seed(3)).run(&scenarios());
         let restored: RunSummary = serde_json::from_str(&summary.to_json()).unwrap();
         assert_eq!(restored, summary);
+    }
+
+    fn temp_cache(tag: &str) -> (ResultCache, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "sim-runner-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ResultCache::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn warm_cache_run_executes_nothing_and_matches_cold_run_byte_for_byte() {
+        let (cache, dir) = temp_cache("warm");
+        let params = ScenarioParams::with_seed(42);
+        let uncached = Runner::new(params.clone()).run(&scenarios());
+        let (cold, cold_stats) = Runner::new(params.clone())
+            .with_cache(cache.clone())
+            .run_with_stats(&scenarios());
+        let cold_stats = cold_stats.unwrap();
+        assert_eq!(cold_stats.misses, 7, "4 + 2 + 1 parts all miss");
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.stored, 7);
+        assert_eq!(
+            cold.to_json(),
+            uncached.to_json(),
+            "a cold cached run must not change the summary"
+        );
+        for jobs in [1, 8] {
+            let (warm, warm_stats) = Runner::new(params.clone())
+                .jobs(jobs)
+                .with_cache(cache.clone())
+                .run_with_stats(&scenarios());
+            let warm_stats = warm_stats.unwrap();
+            assert!(warm_stats.all_hits(), "jobs={jobs}: {warm_stats:?}");
+            assert_eq!(warm_stats.hits, 7);
+            assert_eq!(
+                warm.to_json(),
+                cold.to_json(),
+                "jobs={jobs}: warm summary must be byte-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_seed_and_overrides_invalidate_the_affected_parts() {
+        let (cache, dir) = temp_cache("invalidate");
+        let params = ScenarioParams::with_seed(1);
+        let runner = |p: ScenarioParams| Runner::new(p).with_cache(cache.clone());
+        runner(params.clone()).run(&scenarios());
+        // A different seed misses everywhere (part seeds derive from it).
+        let (_, stats) = runner(ScenarioParams::with_seed(2)).run_with_stats(&scenarios());
+        let stats = stats.unwrap();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 7);
+        // Toggling full_scale misses everywhere too.
+        let mut full = params.clone();
+        full.full_scale = true;
+        let (_, stats) = runner(full).run_with_stats(&scenarios());
+        assert_eq!(stats.unwrap().hits, 0);
+        // An override misses everywhere for scenarios with undeclared keys
+        // (the conservative default fingerprints every override).
+        let with_override = params.clone().with_override("n", "5");
+        let (_, stats) = runner(with_override.clone()).run_with_stats(&scenarios());
+        assert_eq!(stats.unwrap().hits, 0);
+        // ... and each parameterization stays warm independently.
+        let (_, stats) = runner(params).run_with_stats(&scenarios());
+        assert!(stats.unwrap().all_hits());
+        let (_, stats) = runner(with_override).run_with_stats(&scenarios());
+        assert!(stats.unwrap().all_hits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_bypasses_and_overwrites_existing_entries() {
+        let (cache, dir) = temp_cache("refresh");
+        let params = ScenarioParams::with_seed(9);
+        let baseline = Runner::new(params.clone())
+            .with_cache(cache.clone())
+            .run(&scenarios());
+        let (refreshed, stats) = Runner::new(params.clone())
+            .with_cache(cache.clone())
+            .refresh(true)
+            .run_with_stats(&scenarios());
+        let stats = stats.unwrap();
+        assert_eq!(stats.hits, 0, "refresh must not serve cached entries");
+        assert_eq!(stats.invalidated, 7, "all existing entries are bypassed");
+        assert_eq!(stats.stored, 7, "and overwritten with fresh results");
+        assert_eq!(refreshed.to_json(), baseline.to_json());
+        // The refreshed entries are valid: a follow-up run is all hits.
+        let (_, stats) = Runner::new(params)
+            .with_cache(cache)
+            .run_with_stats(&scenarios());
+        assert!(stats.unwrap().all_hits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_that_vanishes_mid_run_degrades_to_a_warning() {
+        let (cache, dir) = temp_cache("vanish");
+        // Replace the cache directory with a plain file after opening, so
+        // every store fails; the run itself must still succeed and match
+        // the uncached summary.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"in the way").unwrap();
+        let params = ScenarioParams::with_seed(4);
+        let (summary, stats) = Runner::new(params.clone())
+            .with_cache(cache)
+            .run_with_stats(&scenarios());
+        let stats = stats.unwrap();
+        assert_eq!(stats.store_failures, 7);
+        assert_eq!(stats.stored, 0);
+        assert_eq!(
+            summary.to_json(),
+            Runner::new(params).run(&scenarios()).to_json()
+        );
+        let _ = std::fs::remove_file(&dir);
     }
 }

@@ -54,8 +54,12 @@ pub struct ScenarioParams {
     pub full_scale: bool,
     /// Base seed; per-part RNGs derive from it via [`part_seed`].
     pub seed: u64,
-    /// Free-form scenario-specific overrides (`key=value`), reserved for
-    /// future workloads so adding a knob is not an API break.
+    /// Scenario-specific knob overrides (`key=value`), populated from
+    /// repeated `--set KEY=VALUE` CLI flags. Scenarios read them through
+    /// the typed accessors ([`override_usize`](Self::override_usize) and
+    /// friends) and declare the keys they consume via
+    /// [`Scenario::override_keys`] so the result cache can fingerprint
+    /// exactly the overrides that affect each part.
     pub overrides: BTreeMap<String, String>,
 }
 
@@ -77,6 +81,79 @@ impl ScenarioParams {
             ..ScenarioParams::default()
         }
     }
+
+    /// Builder-style insertion of one override (last write wins).
+    #[must_use]
+    pub fn with_override(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.overrides.insert(key.into(), value.into());
+        self
+    }
+
+    /// Raw override lookup.
+    pub fn override_str(&self, key: &str) -> Option<&str> {
+        self.overrides.get(key).map(String::as_str)
+    }
+
+    /// An override parsed as `usize`, or `default` when the key is absent.
+    ///
+    /// # Panics
+    /// Panics when the override is present but not a valid `usize` — a
+    /// mistyped `--set` value must fail loudly, not silently fall back.
+    pub fn override_usize(&self, key: &str, default: usize) -> usize {
+        self.override_parsed(key, default)
+    }
+
+    /// An override parsed as `u64`, or `default` when the key is absent.
+    ///
+    /// # Panics
+    /// Panics when the override is present but unparseable, like
+    /// [`override_usize`](Self::override_usize).
+    pub fn override_u64(&self, key: &str, default: u64) -> u64 {
+        self.override_parsed(key, default)
+    }
+
+    /// An override parsed as `f64`, or `default` when the key is absent.
+    ///
+    /// # Panics
+    /// Panics when the override is present but unparseable, like
+    /// [`override_usize`](Self::override_usize).
+    pub fn override_f64(&self, key: &str, default: f64) -> f64 {
+        self.override_parsed(key, default)
+    }
+
+    fn override_parsed<T>(&self, key: &str, default: T) -> T
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.overrides.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|e| {
+                panic!(
+                    "override '{key}={raw}' is not a valid {}: {e}",
+                    std::any::type_name::<T>()
+                )
+            }),
+        }
+    }
+}
+
+/// Parses one `KEY=VALUE` override (the argument of a `--set` flag).
+///
+/// The key must be non-empty and the first `=` separates key from value, so
+/// values may themselves contain `=`.
+///
+/// # Errors
+/// Returns a human-readable message when the `=` or the key is missing.
+pub fn parse_override(spec: &str) -> Result<(String, String), String> {
+    let Some((key, value)) = spec.split_once('=') else {
+        return Err(format!("override '{spec}' is not of the form KEY=VALUE"));
+    };
+    let key = key.trim();
+    if key.is_empty() {
+        return Err(format!("override '{spec}' has an empty key"));
+    }
+    Ok((key.to_string(), value.trim().to_string()))
 }
 
 /// Derives the deterministic seed for one part of one scenario.
@@ -113,6 +190,17 @@ pub trait Scenario: Send + Sync {
     /// The parameters this scenario is normally run with.
     fn default_params(&self) -> ScenarioParams {
         ScenarioParams::default()
+    }
+
+    /// The override keys this scenario consumes, if it knows them.
+    ///
+    /// `Some(keys)` lets the result cache fingerprint only the overrides
+    /// that can actually change this scenario's output, so an unrelated
+    /// `--set` does not invalidate its cached parts. The default `None`
+    /// means "unknown — fingerprint every override", which is always
+    /// correct, just conservative.
+    fn override_keys(&self) -> Option<Vec<&str>> {
+        None
     }
 
     /// Number of independently runnable parts under `params`. Parts must
@@ -388,5 +476,52 @@ mod tests {
         let mut reg = ScenarioRegistry::new();
         reg.register(Toy { id: "a", parts: 1 })
             .register(Toy { id: "a", parts: 1 });
+    }
+
+    #[test]
+    fn parse_override_splits_on_first_equals() {
+        assert_eq!(
+            parse_override("n=500").unwrap(),
+            ("n".to_string(), "500".to_string())
+        );
+        assert_eq!(
+            parse_override("filter=a=b").unwrap(),
+            ("filter".to_string(), "a=b".to_string())
+        );
+        assert_eq!(
+            parse_override(" k = 10 ").unwrap(),
+            ("k".to_string(), "10".to_string())
+        );
+        assert_eq!(
+            parse_override("empty=").unwrap(),
+            ("empty".to_string(), String::new())
+        );
+        assert!(parse_override("no-equals").is_err());
+        assert!(parse_override("=value").is_err());
+    }
+
+    #[test]
+    fn typed_override_accessors_fall_back_to_defaults() {
+        let params = ScenarioParams::default()
+            .with_override("n", "500")
+            .with_override("rate", "0.25");
+        assert_eq!(params.override_usize("n", 9), 500);
+        assert_eq!(params.override_usize("missing", 9), 9);
+        assert_eq!(params.override_u64("n", 9), 500);
+        assert!((params.override_f64("rate", 0.0) - 0.25).abs() < 1e-12);
+        assert_eq!(params.override_str("n"), Some("500"));
+        assert_eq!(params.override_str("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid")]
+    fn malformed_override_value_panics_instead_of_defaulting() {
+        let params = ScenarioParams::default().with_override("n", "lots");
+        params.override_usize("n", 1);
+    }
+
+    #[test]
+    fn override_keys_default_to_unknown() {
+        assert_eq!(Toy { id: "a", parts: 1 }.override_keys(), None);
     }
 }
