@@ -1,0 +1,35 @@
+//! Benchmarks of the BFS-backed evaluation metrics at the population sizes
+//! the `scale` scenario sweeps. Unlike `graph_metrics` (n = 1000 spot
+//! checks), these measure the traversal core itself at n ∈ {10^4, 10^5};
+//! medians are recorded in `BENCH_graph_core.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_graph::components::component_count;
+use onion_graph::generators::random_regular;
+use onion_graph::metrics::sampled_diameter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIZES: [usize; 2] = [10_000, 100_000];
+const DEGREE: usize = 10;
+
+fn bench_bfs_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_metrics");
+    for &n in &SIZES {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (graph, _) = random_regular(n, DEGREE, &mut rng);
+        group.bench_function(format!("sampled_diameter_s8_n{n}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                sampled_diameter(&graph, 8, &mut rng)
+            });
+        });
+        group.bench_function(format!("component_count_n{n}"), |b| {
+            b.iter(|| component_count(&graph));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_metrics);
+criterion_main!(benches);

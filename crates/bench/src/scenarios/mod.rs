@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod scale;
 pub mod table1;
 
 use sim::scenario_api::{ScenarioParams, ScenarioRegistry};
@@ -32,7 +33,8 @@ pub fn registry() -> ScenarioRegistry {
         .register(fig8::SuperOnionRecovery)
         .register(table1::CryptoCatalog)
         .register(ablation_non::NonLookahead)
-        .register(ablation_soap::SoapDefenses);
+        .register(ablation_soap::SoapDefenses)
+        .register(scale::ScaleChurn);
     registry
 }
 
@@ -71,7 +73,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_contains_every_paper_scenario_exactly_once() {
+    fn registry_contains_every_scenario_exactly_once() {
         let registry = registry();
         let ids = registry.ids();
         let expected = [
@@ -84,13 +86,14 @@ mod tests {
             "table1",
             "ablation-non",
             "ablation-soap-defenses",
+            "scale",
         ];
         assert_eq!(ids, expected);
         let mut dedup: Vec<&str> = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len(), "ids are unique");
-        assert!(registry.len() >= 9);
+        assert!(registry.len() >= 10);
     }
 
     #[test]

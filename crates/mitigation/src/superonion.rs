@@ -10,7 +10,7 @@
 //! presumed soaped; the host discards them and bootstraps replacements using
 //! peers of its still-healthy virtual nodes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use onion_graph::graph::{Graph, NodeId};
 use rand::seq::SliceRandom;
@@ -59,12 +59,17 @@ pub struct ProbeReport {
 
 /// The SuperOnion overlay: the virtual-node graph plus the host ownership
 /// map.
+///
+/// Both maps are ordered (`BTreeMap`): host recovery and probing draw from
+/// seeded RNG streams while walking these structures, so hash-randomized
+/// iteration order could leak into the RNG stream and break same-seed
+/// reproducibility (the bug class fixed in `SoapAttack`).
 #[derive(Debug, Clone)]
 pub struct SuperOnion {
     config: SuperOnionConfig,
     graph: Graph,
-    owner: HashMap<NodeId, HostId>,
-    virtuals: HashMap<HostId, Vec<NodeId>>,
+    owner: BTreeMap<NodeId, HostId>,
+    virtuals: BTreeMap<HostId, Vec<NodeId>>,
 }
 
 impl SuperOnion {
@@ -72,8 +77,8 @@ impl SuperOnion {
     /// each peers with `i` virtual nodes of *other* hosts chosen at random.
     pub fn build<R: Rng + ?Sized>(config: SuperOnionConfig, rng: &mut R) -> Self {
         let mut graph = Graph::new();
-        let mut owner = HashMap::new();
-        let mut virtuals: HashMap<HostId, Vec<NodeId>> = HashMap::new();
+        let mut owner = BTreeMap::new();
+        let mut virtuals: BTreeMap<HostId, Vec<NodeId>> = BTreeMap::new();
         for h in 0..config.hosts {
             let host = HostId(h);
             for _ in 0..config.virtual_per_host {
@@ -151,7 +156,7 @@ impl SuperOnion {
         let peers: Vec<NodeId> = self
             .graph
             .neighbors(node)
-            .map(|s| s.iter().copied().collect())
+            .map(<[NodeId]>::to_vec)
             .unwrap_or_default();
         for p in peers {
             self.graph.remove_edge(node, p);
@@ -182,18 +187,14 @@ impl SuperOnion {
             };
         };
         let report = onionbots_core::routing::flood_broadcast(&self.graph, source);
-        let reached: HashSet<NodeId> = {
-            // flood_broadcast reports counts; recompute the reachable set via
-            // BFS distances for membership checks.
-            onion_graph::metrics::bfs_distances(&self.graph, source)
-                .keys()
-                .copied()
-                .collect()
-        };
+        // flood_broadcast reports counts; recompute the reachable set via
+        // BFS distances for membership checks (flat-array lookups, no
+        // hashing).
+        let reached = onion_graph::metrics::bfs_distances(&self.graph, source);
         let mut reachable = Vec::new();
         let mut unreachable = Vec::new();
         for &v in &virtuals {
-            if reached.contains(&v) {
+            if reached.contains(v) {
                 reachable.push(v);
             } else {
                 unreachable.push(v);

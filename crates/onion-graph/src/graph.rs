@@ -1,8 +1,21 @@
 //! Undirected graph data structure used by the overlay simulations.
 //!
-//! Nodes are identified by [`NodeId`]s handed out by the graph; deletions are
-//! supported (the whole evaluation of the paper is about node takedowns), so
-//! the structure is a hash-based adjacency map rather than a dense matrix.
+//! Nodes are identified by [`NodeId`]s handed out by the graph. The
+//! representation is an **index-addressed slab**: `NodeId(i)` is a direct
+//! index into a `Vec` of node slots, and each live slot holds its neighbor
+//! list as a **sorted `Vec<NodeId>`**. Deletions (the whole evaluation of
+//! the paper is about node takedowns) tombstone the slot; identifiers are
+//! never reused, so a `NodeId` remains a valid "name" for a deleted node
+//! (useful when replaying takedown traces), while the emptied neighbor-list
+//! allocations go on a free-list that [`Graph::add_node`] recycles.
+//!
+//! Compared to the previous `HashMap<NodeId, BTreeSet<NodeId>>` adjacency,
+//! every lookup is an array index, neighbor iteration is a cache-friendly
+//! slice walk, and iteration order is ascending **by construction** — no
+//! hash-randomized order can ever leak into an RNG stream or a report
+//! (the bug class that bit `SoapAttack` before it switched to `BTreeSet`s).
+//! Degree stays small (the overlay prunes to `d_max`), so sorted-`Vec`
+//! membership/insertion beats tree or hash nodes by a wide margin.
 //!
 //! ```
 //! use onion_graph::graph::Graph;
@@ -16,11 +29,9 @@
 //! assert_eq!(g.degree(b), Some(0));
 //! ```
 
-use std::collections::{BTreeSet, HashMap};
-
 use serde::{Deserialize, Serialize};
 
-/// Identifier of a node inside a [`Graph`].
+/// Identifier of a node inside a [`Graph`]: a direct index into the slab.
 ///
 /// Identifiers are never reused within one graph, so a `NodeId` remains a
 /// valid "name" for a deleted node (useful when replaying takedown traces).
@@ -33,13 +44,35 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// An undirected simple graph (no self loops, no parallel edges).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Upper bound on pooled neighbor-list allocations kept for reuse; churny
+/// workloads (SOAP clone spawning, the `scale` scenario's waves) recycle
+/// them instead of hitting the allocator, but an unbounded pool would pin
+/// memory proportional to the deletion count.
+const FREE_POOL_LIMIT: usize = 1024;
+
+/// An undirected simple graph (no self loops, no parallel edges) backed by
+/// an index-addressed slab.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Graph {
-    adjacency: HashMap<NodeId, BTreeSet<NodeId>>,
-    next_id: usize,
+    /// Node slots indexed by `NodeId.0`; `None` marks a deleted node.
+    /// Live slots hold the neighbor list sorted ascending.
+    slots: Vec<Option<Vec<NodeId>>>,
+    /// Recycled neighbor-list allocations from deleted nodes (always
+    /// empty vectors; only their capacity is reused).
+    free_pool: Vec<Vec<NodeId>>,
+    live_count: usize,
     edge_count: usize,
 }
+
+impl PartialEq for Graph {
+    /// Equality over graph *content* (slots and edge count); the allocation
+    /// free-list is an implementation detail and does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots && self.edge_count == other.edge_count
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph.
@@ -50,26 +83,33 @@ impl Graph {
     /// Creates an empty graph with `n` fresh nodes, returning their ids.
     pub fn with_nodes(n: usize) -> (Self, Vec<NodeId>) {
         let mut g = Graph::new();
+        g.slots.reserve(n);
         let ids = (0..n).map(|_| g.add_node()).collect();
         (g, ids)
     }
 
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.next_id);
-        self.next_id += 1;
-        self.adjacency.insert(id, BTreeSet::new());
+        let id = NodeId(self.slots.len());
+        let mut list = self.free_pool.pop().unwrap_or_default();
+        // Pooled lists are pushed empty, but clear defensively: a
+        // deserialized graph could carry a non-empty pool (the offline
+        // serde derive cannot skip the field), and a fresh node must never
+        // start with phantom neighbors.
+        list.clear();
+        self.slots.push(Some(list));
+        self.live_count += 1;
         id
     }
 
     /// Returns `true` if `node` is present (i.e. not deleted).
     pub fn contains(&self, node: NodeId) -> bool {
-        self.adjacency.contains_key(&node)
+        self.slots.get(node.0).is_some_and(Option::is_some)
     }
 
     /// Number of live nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.live_count
     }
 
     /// Number of undirected edges.
@@ -77,130 +117,183 @@ impl Graph {
         self.edge_count
     }
 
+    /// One past the largest id ever allocated. Every live (or deleted)
+    /// `NodeId` in this graph is strictly below this bound, so flat
+    /// per-node arrays for traversals (`vec![u32::MAX; g.id_bound()]`) can
+    /// be indexed by `NodeId.0` without bounds surprises.
+    pub fn id_bound(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Iterates over the live node ids in ascending order.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.adjacency.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|_| NodeId(i)))
+            .collect()
     }
 
     /// Adds an undirected edge. Returns `true` if the edge was newly added,
-    /// `false` if it already existed or was a self loop / referenced a missing
-    /// node.
+    /// `false` if it already existed or was a self loop / referenced a
+    /// missing node.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         if a == b || !self.contains(a) || !self.contains(b) {
             return false;
         }
-        let inserted = self
-            .adjacency
-            .get_mut(&a)
-            .expect("checked present")
-            .insert(b);
-        if inserted {
-            self.adjacency
-                .get_mut(&b)
-                .expect("checked present")
-                .insert(a);
-            self.edge_count += 1;
-        }
-        inserted
+        let list_a = self.slots[a.0].as_mut().expect("checked present");
+        let Err(pos_a) = list_a.binary_search(&b) else {
+            return false;
+        };
+        list_a.insert(pos_a, b);
+        let list_b = self.slots[b.0].as_mut().expect("checked present");
+        let pos_b = list_b
+            .binary_search(&a)
+            .expect_err("edge must be symmetric");
+        list_b.insert(pos_b, a);
+        self.edge_count += 1;
+        true
     }
 
     /// Removes an undirected edge. Returns `true` if it existed.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        let removed = self.adjacency.get_mut(&a).is_some_and(|set| set.remove(&b));
-        if removed {
-            if let Some(set) = self.adjacency.get_mut(&b) {
-                set.remove(&a);
+        let Some(Some(list_a)) = self.slots.get_mut(a.0) else {
+            return false;
+        };
+        let Ok(pos_a) = list_a.binary_search(&b) else {
+            return false;
+        };
+        list_a.remove(pos_a);
+        if let Some(Some(list_b)) = self.slots.get_mut(b.0) {
+            if let Ok(pos_b) = list_b.binary_search(&a) {
+                list_b.remove(pos_b);
             }
-            self.edge_count -= 1;
         }
-        removed
+        self.edge_count -= 1;
+        true
     }
 
     /// Returns `true` if the edge `(a, b)` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency.get(&a).is_some_and(|set| set.contains(&b))
+        self.neighbors(a)
+            .is_some_and(|list| list.binary_search(&b).is_ok())
     }
 
-    /// The neighbors of `node`, or `None` if the node is absent.
-    pub fn neighbors(&self, node: NodeId) -> Option<&BTreeSet<NodeId>> {
-        self.adjacency.get(&node)
+    /// The neighbors of `node` as a sorted slice, or `None` if the node is
+    /// absent.
+    pub fn neighbors(&self, node: NodeId) -> Option<&[NodeId]> {
+        self.slots.get(node.0)?.as_deref()
     }
 
     /// The degree of `node`, or `None` if the node is absent.
     pub fn degree(&self, node: NodeId) -> Option<usize> {
-        self.adjacency.get(&node).map(BTreeSet::len)
+        self.neighbors(node).map(<[NodeId]>::len)
     }
 
-    /// Removes a node and all incident edges, returning its former neighbors.
+    /// Removes a node and all incident edges, returning its former
+    /// neighbors in ascending order.
     ///
     /// Returns `None` if the node was not present.
     pub fn remove_node(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
-        let neighbors = self.adjacency.remove(&node)?;
-        for n in &neighbors {
-            if let Some(set) = self.adjacency.get_mut(n) {
-                set.remove(&node);
+        let mut list = self.slots.get_mut(node.0)?.take()?;
+        self.live_count -= 1;
+        self.edge_count -= list.len();
+        // Degree is bounded (the overlay prunes to d_max), so copying the
+        // tiny neighbor list out lets the allocation itself go back on the
+        // free-list for the next add_node.
+        let neighbors = list.clone();
+        for &n in &neighbors {
+            if let Some(Some(other)) = self.slots.get_mut(n.0) {
+                if let Ok(pos) = other.binary_search(&node) {
+                    other.remove(pos);
+                }
             }
         }
-        self.edge_count -= neighbors.len();
-        Some(neighbors.into_iter().collect())
+        if self.free_pool.len() < FREE_POOL_LIMIT {
+            list.clear();
+            self.free_pool.push(list);
+        }
+        Some(neighbors)
     }
 
     /// Maximum degree over live nodes (`0` for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency
-            .values()
-            .map(BTreeSet::len)
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(Vec::len))
             .max()
             .unwrap_or(0)
     }
 
     /// Minimum degree over live nodes (`0` for an empty graph).
     pub fn min_degree(&self) -> usize {
-        self.adjacency
-            .values()
-            .map(BTreeSet::len)
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(Vec::len))
             .min()
             .unwrap_or(0)
     }
 
     /// Average degree over live nodes (`0.0` for an empty graph).
     pub fn average_degree(&self) -> f64 {
-        if self.adjacency.is_empty() {
+        if self.live_count == 0 {
             return 0.0;
         }
-        2.0 * self.edge_count as f64 / self.adjacency.len() as f64
+        2.0 * self.edge_count as f64 / self.live_count as f64
     }
 
     /// Lists all edges as `(smaller id, larger id)` pairs, sorted.
+    ///
+    /// The slab walk visits slots ascending and each neighbor list is
+    /// sorted, so the output is sorted by construction.
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
         let mut out = Vec::with_capacity(self.edge_count);
-        for (&a, neighbors) in &self.adjacency {
-            for &b in neighbors {
-                if a < b {
-                    out.push((a, b));
+        for (i, slot) in self.slots.iter().enumerate() {
+            let a = NodeId(i);
+            if let Some(neighbors) = slot {
+                for &b in neighbors {
+                    if a < b {
+                        out.push((a, b));
+                    }
                 }
             }
         }
-        out.sort_unstable();
         out
     }
 
-    /// Checks internal invariants (symmetry, no self loops, edge count).
-    /// Intended for tests and debug assertions.
+    /// Checks internal invariants (symmetry, no self loops, sorted and
+    /// deduplicated neighbor lists, live/edge counts). Intended for tests
+    /// and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut counted = 0usize;
-        for (&a, neighbors) in &self.adjacency {
+        let mut live = 0usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let a = NodeId(i);
+            let Some(neighbors) = slot else { continue };
+            live += 1;
+            for pair in neighbors.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!(
+                        "neighbor list of {a} not strictly sorted: {} then {}",
+                        pair[0], pair[1]
+                    ));
+                }
+            }
             for &b in neighbors {
                 if a == b {
                     return Err(format!("self loop at {a}"));
                 }
-                if !self.adjacency.get(&b).is_some_and(|set| set.contains(&a)) {
+                if !self.has_edge(b, a) {
                     return Err(format!("asymmetric edge {a} -> {b}"));
                 }
                 counted += 1;
             }
+        }
+        if live != self.live_count {
+            return Err(format!(
+                "live count mismatch: counted {live}, recorded {}",
+                self.live_count
+            ));
         }
         if counted != self.edge_count * 2 {
             return Err(format!(
@@ -226,6 +319,7 @@ mod tests {
         assert!(g.contains(b));
         assert_eq!(g.degree(a), Some(0));
         assert_eq!(g.nodes(), vec![a, b]);
+        assert_eq!(g.id_bound(), 2);
     }
 
     #[test]
@@ -281,6 +375,48 @@ mod tests {
         g.remove_node(a);
         let b = g.add_node();
         assert_ne!(a, b);
+        assert!(!g.contains(a));
+        assert!(g.contains(b));
+        assert_eq!(g.id_bound(), 2);
+    }
+
+    #[test]
+    fn deleted_slot_stays_a_tombstone() {
+        let (mut g, ids) = Graph::with_nodes(3);
+        g.add_edge(ids[0], ids[1]);
+        g.remove_node(ids[1]);
+        assert_eq!(g.neighbors(ids[1]), None);
+        assert_eq!(g.degree(ids[1]), None);
+        assert!(!g.has_edge(ids[0], ids[1]));
+        assert_eq!(g.nodes(), vec![ids[0], ids[2]]);
+        // Operations on the tombstone are inert, not panics.
+        assert!(!g.remove_edge(ids[1], ids[0]));
+        assert_eq!(g.remove_node(ids[1]), None);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_absent_not_panics() {
+        let (g, _) = Graph::with_nodes(2);
+        let ghost = NodeId(10_000);
+        assert!(!g.contains(ghost));
+        assert_eq!(g.neighbors(ghost), None);
+        assert_eq!(g.degree(ghost), None);
+        assert!(!g.has_edge(ghost, NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), ghost));
+    }
+
+    #[test]
+    fn neighbor_lists_stay_sorted_under_mutation() {
+        let (mut g, ids) = Graph::with_nodes(6);
+        // Insert in descending order; the list must still come out sorted.
+        for &peer in ids[1..].iter().rev() {
+            g.add_edge(ids[0], peer);
+        }
+        assert_eq!(g.neighbors(ids[0]).unwrap(), &ids[1..]);
+        g.remove_edge(ids[0], ids[3]);
+        let expected: Vec<NodeId> = ids[1..].iter().copied().filter(|&n| n != ids[3]).collect();
+        assert_eq!(g.neighbors(ids[0]).unwrap(), &expected[..]);
+        g.check_invariants().unwrap();
     }
 
     #[test]
@@ -309,6 +445,24 @@ mod tests {
         assert_eq!(g.min_degree(), 0);
         assert_eq!(g.average_degree(), 0.0);
         assert!(g.edges().is_empty());
+        assert_eq!(g.id_bound(), 0);
         g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn equality_ignores_the_allocation_pool() {
+        let (mut a, ids_a) = Graph::with_nodes(3);
+        let (mut b, ids_b) = Graph::with_nodes(3);
+        a.add_edge(ids_a[0], ids_a[1]);
+        b.add_edge(ids_b[0], ids_b[1]);
+        // Give `a` a connected extra node and `b` an isolated one before
+        // deleting both: the surviving content is identical but the pooled
+        // allocations differ (a's recycled list had capacity, b's did not).
+        let extra_a = a.add_node();
+        a.add_edge(extra_a, ids_a[0]);
+        a.remove_node(extra_a);
+        let extra_b = b.add_node();
+        b.remove_node(extra_b);
+        assert_eq!(a, b);
     }
 }

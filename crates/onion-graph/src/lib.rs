@@ -80,10 +80,45 @@ mod property_tests {
             let (g, ids) = random_regular(30, 4, &mut rng);
             let dist = bfs_distances(&g, ids[0]);
             for (a, b) in g.edges() {
-                let da = dist.get(&a).copied();
-                let db = dist.get(&b).copied();
-                if let (Some(da), Some(db)) = (da, db) {
+                if let (Some(da), Some(db)) = (dist.get(a), dist.get(b)) {
                     prop_assert!(da.abs_diff(db) <= 1);
+                }
+            }
+        }
+
+        /// Slab-core invariants under arbitrary interleaved mutations:
+        /// the degree sum is exactly twice the edge count, neighbor lists
+        /// stay strictly sorted (no self loops, no parallel edges), and
+        /// deleted ids are never handed out again.
+        #[test]
+        fn slab_invariants_under_churn(ops in prop::collection::vec((0usize..24, 0usize..24, 0u8..5), 1..250)) {
+            let (mut g, mut ids) = Graph::with_nodes(8);
+            let mut deleted: Vec<crate::graph::NodeId> = Vec::new();
+            for (a, b, op) in ops {
+                match op {
+                    0 => {
+                        let id = g.add_node();
+                        prop_assert!(!ids.contains(&id), "fresh id must be new");
+                        prop_assert!(!deleted.contains(&id), "deleted ids are never reused");
+                        ids.push(id);
+                    }
+                    1 | 2 => { g.add_edge(ids[a % ids.len()], ids[b % ids.len()]); }
+                    3 => { g.remove_edge(ids[a % ids.len()], ids[b % ids.len()]); }
+                    _ => {
+                        let victim = ids[a % ids.len()];
+                        if g.remove_node(victim).is_some() {
+                            deleted.push(victim);
+                        }
+                    }
+                }
+                // check_invariants covers symmetry, sortedness (hence no
+                // parallel edges), self loops and the half-edge count.
+                prop_assert!(g.check_invariants().is_ok());
+                let degree_sum: usize = g.nodes().iter().map(|&n| g.degree(n).unwrap()).sum();
+                prop_assert_eq!(degree_sum, 2 * g.edge_count());
+                for &n in &g.nodes() {
+                    let list = g.neighbors(n).unwrap();
+                    prop_assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
                 }
             }
         }

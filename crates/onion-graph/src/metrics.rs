@@ -13,36 +13,153 @@
 //! variants estimate the same quantities from a random subset of BFS sources;
 //! the figure harness uses them with a few hundred sources, which keeps the
 //! curve shapes intact.
-
-use std::collections::{HashMap, VecDeque};
+//!
+//! All traversals run on **flat arrays indexed by node id** (the graph is an
+//! index-addressed slab, see [`Graph::id_bound`]): distances live in a
+//! `Vec<u32>` with a sentinel for "unreached" and the BFS queue doubles as
+//! the visit-order record. No hash maps or hash sets are involved, so the
+//! traversal order is deterministic by construction and a BFS over a
+//! million-node overlay touches memory sequentially instead of chasing
+//! buckets.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::graph::{Graph, NodeId};
 
+/// Sentinel distance for nodes a BFS did not reach.
+const UNREACHED: u32 = u32::MAX;
+
+/// Distances from one BFS source, stored as a flat array indexed by node id.
+///
+/// Produced by [`bfs_distances`]. Membership checks and lookups are array
+/// indexing; [`reached`](DistanceMap::reached) lists the visited nodes in
+/// BFS discovery order (source first, then distance-1 nodes in neighbor
+/// order, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMap {
+    /// `dist[id] == UNREACHED` marks unreached (or deleted) nodes.
+    dist: Vec<u32>,
+    /// Visited nodes in discovery order; doubles as the BFS queue.
+    reached: Vec<NodeId>,
+}
+
+impl DistanceMap {
+    /// The distance from the source to `node`, if it was reached.
+    pub fn get(&self, node: NodeId) -> Option<usize> {
+        match self.dist.get(node.0).copied() {
+            None | Some(UNREACHED) => None,
+            Some(d) => Some(d as usize),
+        }
+    }
+
+    /// Whether the BFS reached `node` (the source counts as reached).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.get(node).is_some()
+    }
+
+    /// Number of reached nodes, including the source. `0` when the BFS
+    /// started from a missing node.
+    pub fn reached_count(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// `true` when nothing was reached (missing source).
+    pub fn is_empty(&self) -> bool {
+        self.reached.is_empty()
+    }
+
+    /// The reached nodes in BFS discovery order (source first).
+    pub fn reached(&self) -> &[NodeId] {
+        &self.reached
+    }
+
+    /// Iterates `(node, distance)` pairs in BFS discovery order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.reached
+            .iter()
+            .map(move |&n| (n, self.dist[n.0] as usize))
+    }
+
+    /// Sum of distances over all reached nodes (the source contributes 0).
+    pub fn total(&self) -> usize {
+        self.reached.iter().map(|&n| self.dist[n.0] as usize).sum()
+    }
+
+    /// Greatest distance to any reached node — the source's eccentricity
+    /// within its component. `None` when the source was missing.
+    pub fn max(&self) -> Option<usize> {
+        // The queue is filled in non-decreasing distance order, so the last
+        // reached node carries the maximum distance.
+        self.reached.last().map(|&n| self.dist[n.0] as usize)
+    }
+}
+
 /// Breadth-first search distances from `source` to every reachable node
 /// (including `source` itself at distance 0).
-pub fn bfs_distances(graph: &Graph, source: NodeId) -> HashMap<NodeId, usize> {
-    let mut dist = HashMap::new();
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> DistanceMap {
+    let mut map = DistanceMap {
+        dist: vec![UNREACHED; graph.id_bound()],
+        reached: Vec::new(),
+    };
     if !graph.contains(source) {
-        return dist;
+        return map;
     }
-    dist.insert(source, 0usize);
-    let mut queue = VecDeque::new();
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let d = dist[&u];
+    map.dist[source.0] = 0;
+    map.reached.push(source);
+    let mut head = 0usize;
+    while head < map.reached.len() {
+        let u = map.reached[head];
+        head += 1;
+        let d = map.dist[u.0] + 1;
         if let Some(neighbors) = graph.neighbors(u) {
             for &v in neighbors {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                    e.insert(d + 1);
-                    queue.push_back(v);
+                if map.dist[v.0] == UNREACHED {
+                    map.dist[v.0] = d;
+                    map.reached.push(v);
                 }
             }
         }
     }
-    dist
+    map
+}
+
+/// BFS eccentricity of `source` using caller-provided scratch buffers, so
+/// all-pairs sweeps ([`diameter`], [`average_path_length`]) do not
+/// reallocate per source. `dist` must be sized `graph.id_bound()` and
+/// filled with `u32::MAX`; it is restored to that state before returning.
+/// Returns `(eccentricity, sum_of_distances, reached_count)`.
+fn bfs_into(
+    graph: &Graph,
+    source: NodeId,
+    dist: &mut [u32],
+    queue: &mut Vec<NodeId>,
+) -> (usize, usize, usize) {
+    queue.clear();
+    dist[source.0] = 0;
+    queue.push(source);
+    let mut head = 0usize;
+    let mut total = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let d = dist[u.0] + 1;
+        if let Some(neighbors) = graph.neighbors(u) {
+            for &v in neighbors {
+                if dist[v.0] == UNREACHED {
+                    dist[v.0] = d;
+                    total += d as usize;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    let ecc = queue.last().map_or(0, |&n| dist[n.0] as usize);
+    let reached = queue.len();
+    for &n in queue.iter() {
+        dist[n.0] = UNREACHED;
+    }
+    (ecc, total, reached)
 }
 
 /// Closeness centrality of a single node, normalized by `n - 1` over the
@@ -57,11 +174,11 @@ pub fn closeness_centrality(graph: &Graph, node: NodeId) -> f64 {
         return 0.0;
     }
     let dist = bfs_distances(graph, node);
-    let reachable = dist.len() - 1; // excluding the node itself
+    let reachable = dist.reached_count() - 1; // excluding the node itself
     if reachable == 0 {
         return 0.0;
     }
-    let total: usize = dist.values().sum();
+    let total = dist.total();
     // (reachable / (n-1)) * (reachable / total): closeness within the
     // component scaled by component coverage.
     (reachable as f64 / (n - 1) as f64) * (reachable as f64 / total as f64)
@@ -118,13 +235,10 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
     if !graph.contains(node) {
         return None;
     }
-    Some(
-        bfs_distances(graph, node)
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(0),
-    )
+    let mut dist = vec![UNREACHED; graph.id_bound()];
+    let mut queue = Vec::new();
+    let (ecc, _, _) = bfs_into(graph, node, &mut dist, &mut queue);
+    Some(ecc)
 }
 
 /// Exact diameter of the largest connected component (all-pairs BFS).
@@ -138,11 +252,12 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
 pub fn diameter(graph: &Graph) -> Option<usize> {
     let components = crate::components::connected_components(graph);
     let largest = components.first()?;
+    let mut dist = vec![UNREACHED; graph.id_bound()];
+    let mut queue = Vec::with_capacity(largest.len());
     let mut best = 0usize;
     for &u in largest {
-        if let Some(ecc) = eccentricity(graph, u) {
-            best = best.max(ecc);
-        }
+        let (ecc, _, _) = bfs_into(graph, u, &mut dist, &mut queue);
+        best = best.max(ecc);
     }
     Some(best)
 }
@@ -163,11 +278,12 @@ pub fn sampled_diameter<R: Rng + ?Sized>(
     }
     nodes.shuffle(rng);
     nodes.truncate(samples.max(1).min(nodes.len()));
+    let mut dist = vec![UNREACHED; graph.id_bound()];
+    let mut queue = Vec::new();
     let mut best = 0usize;
     for &u in &nodes {
-        if let Some(ecc) = eccentricity(graph, u) {
-            best = best.max(ecc);
-        }
+        let (ecc, _, _) = bfs_into(graph, u, &mut dist, &mut queue);
+        best = best.max(ecc);
     }
     Some(best)
 }
@@ -176,16 +292,14 @@ pub fn sampled_diameter<R: Rng + ?Sized>(
 /// Returns `None` when there are no connected pairs.
 pub fn average_path_length(graph: &Graph) -> Option<f64> {
     let nodes = graph.nodes();
+    let mut dist = vec![UNREACHED; graph.id_bound()];
+    let mut queue = Vec::with_capacity(nodes.len());
     let mut total = 0usize;
     let mut pairs = 0usize;
     for &u in &nodes {
-        let dist = bfs_distances(graph, u);
-        for (&v, &d) in &dist {
-            if v != u {
-                total += d;
-                pairs += 1;
-            }
-        }
+        let (_, sum, reached) = bfs_into(graph, u, &mut dist, &mut queue);
+        total += sum;
+        pairs += reached - 1; // every reached node except u itself
     }
     if pairs == 0 {
         None
@@ -216,15 +330,45 @@ mod tests {
         let (g, ids) = path_graph(5);
         let dist = bfs_distances(&g, ids[0]);
         for (i, id) in ids.iter().enumerate() {
-            assert_eq!(dist[id], i);
+            assert_eq!(dist.get(*id), Some(i));
         }
+        assert_eq!(dist.reached_count(), 5);
+        assert_eq!(dist.max(), Some(4));
+        assert_eq!(dist.total(), 10, "1 + 2 + 3 + 4");
     }
 
     #[test]
     fn bfs_from_missing_node_is_empty() {
         let (mut g, ids) = path_graph(3);
         g.remove_node(ids[0]);
-        assert!(bfs_distances(&g, ids[0]).is_empty());
+        let dist = bfs_distances(&g, ids[0]);
+        assert!(dist.is_empty());
+        assert_eq!(dist.reached_count(), 0);
+        assert_eq!(dist.max(), None);
+        assert!(!dist.contains(ids[0]));
+    }
+
+    #[test]
+    fn bfs_discovery_order_is_source_then_sorted_frontiers() {
+        // Star with center ids[0]: discovery order is the center followed
+        // by the leaves in ascending id order (neighbor lists are sorted).
+        let (mut g, ids) = Graph::with_nodes(4);
+        for &leaf in &ids[1..] {
+            g.add_edge(ids[0], leaf);
+        }
+        let dist = bfs_distances(&g, ids[0]);
+        assert_eq!(dist.reached(), &[ids[0], ids[1], ids[2], ids[3]]);
+        let collected: Vec<(NodeId, usize)> = dist.iter().collect();
+        assert_eq!(collected[0], (ids[0], 0));
+        assert_eq!(collected[3], (ids[3], 1));
+    }
+
+    #[test]
+    fn distance_map_ignores_out_of_range_ids() {
+        let (g, ids) = path_graph(2);
+        let dist = bfs_distances(&g, ids[0]);
+        assert_eq!(dist.get(NodeId(999)), None);
+        assert!(!dist.contains(NodeId(999)));
     }
 
     #[test]

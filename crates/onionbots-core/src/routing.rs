@@ -13,8 +13,6 @@
 //!   routing with one-hop versus two-hop (NoN) knowledge, used by the
 //!   ablation bench to show the lookahead benefit.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-
 use onion_graph::graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -57,8 +55,11 @@ pub fn flood_broadcast(graph: &Graph, source: NodeId) -> BroadcastReport {
             coverage_per_round: Vec::new(),
         };
     }
-    let mut informed: HashSet<NodeId> = HashSet::new();
-    informed.insert(source);
+    // Flat informed-flags indexed by node id: deterministic, allocation-light
+    // and cache-friendly at million-node populations.
+    let mut informed = vec![false; graph.id_bound()];
+    informed[source.0] = true;
+    let mut reached = 1usize;
     let mut frontier = vec![source];
     let mut messages = 0usize;
     let mut coverage_per_round = vec![1usize];
@@ -69,7 +70,9 @@ pub fn flood_broadcast(graph: &Graph, source: NodeId) -> BroadcastReport {
             if let Some(neighbors) = graph.neighbors(u) {
                 for &v in neighbors {
                     messages += 1;
-                    if informed.insert(v) {
+                    if !informed[v.0] {
+                        informed[v.0] = true;
+                        reached += 1;
                         next.push(v);
                     }
                 }
@@ -79,11 +82,11 @@ pub fn flood_broadcast(graph: &Graph, source: NodeId) -> BroadcastReport {
             break;
         }
         rounds += 1;
-        coverage_per_round.push(informed.len());
+        coverage_per_round.push(reached);
         frontier = next;
     }
     BroadcastReport {
-        reached: informed.len(),
+        reached,
         population,
         rounds,
         messages,
@@ -152,8 +155,8 @@ fn route_with_lookahead(
         };
     }
     let mut current = source;
-    let mut visited: HashSet<NodeId> = HashSet::new();
-    visited.insert(source);
+    let mut visited = vec![false; graph.id_bound()];
+    visited[source.0] = true;
     while current != destination && path.len() <= max_hops {
         let Some(neighbors) = graph.neighbors(current) else {
             break;
@@ -161,7 +164,7 @@ fn route_with_lookahead(
         // Score each candidate neighbor.
         let mut best: Option<(u64, NodeId)> = None;
         for &n in neighbors {
-            if visited.contains(&n) {
+            if visited[n.0] {
                 continue;
             }
             let score = if n == destination {
@@ -187,7 +190,7 @@ fn route_with_lookahead(
         }
         match best {
             Some((_, next)) => {
-                visited.insert(next);
+                visited[next.0] = true;
                 path.push(next);
                 current = next;
             }
@@ -206,20 +209,24 @@ pub fn shortest_path_hops(graph: &Graph, source: NodeId, destination: NodeId) ->
     if !graph.contains(source) || !graph.contains(destination) {
         return None;
     }
-    let mut dist: HashMap<NodeId, usize> = HashMap::new();
-    dist.insert(source, 0);
-    let mut queue = VecDeque::new();
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
+    // Flat BFS with early exit at the destination.
+    const UNREACHED: u32 = u32::MAX;
+    let mut dist = vec![UNREACHED; graph.id_bound()];
+    dist[source.0] = 0;
+    let mut queue = vec![source];
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
         if u == destination {
-            return Some(dist[&u]);
+            return Some(dist[u.0] as usize);
         }
-        let d = dist[&u];
+        let d = dist[u.0] + 1;
         if let Some(neighbors) = graph.neighbors(u) {
             for &v in neighbors {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                    e.insert(d + 1);
-                    queue.push_back(v);
+                if dist[v.0] == UNREACHED {
+                    dist[v.0] = d;
+                    queue.push(v);
                 }
             }
         }

@@ -103,6 +103,19 @@ impl ScenarioParams {
         self.override_parsed(key, default)
     }
 
+    /// An override parsed as `usize`, or `None` when the key is absent —
+    /// for scenarios where mere *presence* of a key changes behavior
+    /// (e.g. `scale`'s `n` collapsing the population sweep to one part).
+    ///
+    /// # Panics
+    /// Panics when the override is present but unparseable, like
+    /// [`override_usize`](Self::override_usize).
+    pub fn override_usize_opt(&self, key: &str) -> Option<usize> {
+        self.overrides
+            .get(key)
+            .map(|_| self.override_parsed(key, 0))
+    }
+
     /// An override parsed as `u64`, or `default` when the key is absent.
     ///
     /// # Panics
@@ -507,6 +520,8 @@ mod tests {
             .with_override("rate", "0.25");
         assert_eq!(params.override_usize("n", 9), 500);
         assert_eq!(params.override_usize("missing", 9), 9);
+        assert_eq!(params.override_usize_opt("n"), Some(500));
+        assert_eq!(params.override_usize_opt("missing"), None);
         assert_eq!(params.override_u64("n", 9), 500);
         assert!((params.override_f64("rate", 0.0) - 0.25).abs() < 1e-12);
         assert_eq!(params.override_str("n"), Some("500"));
