@@ -6,24 +6,29 @@
 //! run_experiments --only fig6 --cache-dir .exp-cache --set steps=5
 //! ```
 //!
-//! Selected scenarios (default: all) run through the parallel
-//! [`sim::Runner`]; results render to stdout (`--format table|csv|json`)
-//! and, with `--out DIR`, to per-report `.json`/`.csv` files plus a
-//! `summary.json`. Reports are deterministic for a given `--seed`
-//! regardless of `--jobs`, and with `--cache-dir DIR` (or
-//! `ONIONBOTS_CACHE_DIR`) previously computed parts replay from the
-//! content-addressed [`sim::ResultCache`] without changing a byte of the
-//! output.
+//! Selected scenarios (default: all) run through the [`sim::Runner`] on
+//! the chosen execution backend (`--backend local|process`); results
+//! render to stdout (`--format table|csv|json`) and, with `--out DIR`,
+//! to per-report `.json`/`.csv` files plus a `summary.json`. Reports are
+//! deterministic for a given `--seed` regardless of `--jobs` *and* of
+//! the backend, and with `--cache-dir DIR` (or `ONIONBOTS_CACHE_DIR`)
+//! previously computed parts replay from the content-addressed
+//! [`sim::ResultCache`] without changing a byte of the output.
+//!
+//! The hidden `worker` mode (`run_experiments worker`) is the subprocess
+//! side of `--backend process`: it speaks the newline-delimited JSON
+//! work-item protocol on stdin/stdout and is not meant to be invoked by
+//! hand.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use onionbots_bench::scenarios;
 use onionbots_bench::Scale;
+use onionbots_bench::{scenarios, worker};
 use sim::experiment::{CsvDirSink, JsonDirSink, ReportSink, TableSink};
 use sim::scenario_api::{parse_override, ScenarioParams};
-use sim::{ResultCache, Runner};
+use sim::{Backend, ResultCache, Runner, WorkerCommand};
 
 struct Options {
     list: bool,
@@ -37,6 +42,13 @@ struct Options {
     cache_dir: Option<String>,
     no_cache: bool,
     refresh: bool,
+    backend: BackendChoice,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    Local,
+    Process,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -53,7 +65,11 @@ Options:
   --list              list registered scenarios and exit
   --only ID[,ID...]   run only the named scenarios (repeatable)
   --scale quick|full  population scale (default: quick; env ONIONBOTS_FULL=1)
-  --jobs N            worker threads (default: 1)
+  --jobs N            workers: threads (local) or subprocesses (process)
+                      (default: 1)
+  --backend B         execution backend: local (in-process threads,
+                      default) or process (run_experiments worker
+                      subprocesses speaking ndjson over stdin/stdout)
   --seed N            base RNG seed (default: 2015)
   --set KEY=VALUE     scenario override, repeatable (e.g. --set steps=5)
   --out DIR           also write per-report .json/.csv files and summary.json
@@ -78,6 +94,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache_dir: None,
         no_cache: false,
         refresh: false,
+        backend: BackendChoice::Local,
     };
     let mut i = 0;
     while i < args.len() {
@@ -128,6 +145,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let value = value_for("--set")?;
                 options.overrides.push(parse_override(&value)?);
             }
+            "--backend" => {
+                let value = value_for("--backend")?;
+                options.backend = match value.as_str() {
+                    "local" => BackendChoice::Local,
+                    "process" => BackendChoice::Process,
+                    other => return Err(format!("unknown --backend '{other}' (local|process)")),
+                };
+            }
             "--out" => options.out = Some(value_for("--out")?),
             "--cache-dir" => options.cache_dir = Some(value_for("--cache-dir")?),
             "--no-cache" => options.no_cache = true,
@@ -157,6 +182,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker mode: the subprocess side of --backend process. It
+    // must be dispatched before option parsing — a worker takes no other
+    // arguments and speaks only the stdin/stdout protocol.
+    if args.first().map(String::as_str) == Some("worker") {
+        return match worker::run_worker() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(error) => {
+                eprintln!("worker error: {error}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_options(&args) {
         Ok(options) => options,
         Err(message) => {
@@ -176,6 +213,13 @@ fn main() -> ExitCode {
                 scenario.parts(&params),
                 scenario.title()
             );
+            // Declared override keys make --set discoverable; a scenario
+            // without declared keys accepts (and is fingerprinted by)
+            // every override.
+            match scenario.override_keys() {
+                Some(keys) => println!("  {:<24} --set keys: {}", "", keys.join(", ")),
+                None => println!("  {:<24} --set keys: (undeclared)", ""),
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -198,11 +242,15 @@ fn main() -> ExitCode {
         params.overrides.insert(key, value);
     }
     eprintln!(
-        "running {} scenario(s) at {:?} scale with {} job(s), seed {}",
+        "running {} scenario(s) at {:?} scale with {} job(s), seed {}, {} backend",
         selected.len(),
         options.scale,
         options.jobs,
-        params.seed
+        params.seed,
+        match options.backend {
+            BackendChoice::Local => "local",
+            BackendChoice::Process => "process",
+        }
     );
     let cache_dir = match (&options.no_cache, &options.cache_dir) {
         (true, _) => None,
@@ -211,7 +259,22 @@ fn main() -> ExitCode {
             .ok()
             .filter(|dir| !dir.is_empty()),
     };
-    let mut runner = Runner::new(params).jobs(options.jobs);
+    let backend = match options.backend {
+        BackendChoice::Local => Backend::Local,
+        BackendChoice::Process => {
+            // Workers are this very binary re-invoked in worker mode, so
+            // parent and workers can never disagree about the registry.
+            let exe = match std::env::current_exe() {
+                Ok(exe) => exe,
+                Err(error) => {
+                    eprintln!("error: cannot locate own executable for worker mode: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Backend::Process(WorkerCommand::new(exe).arg("worker"))
+        }
+    };
+    let mut runner = Runner::new(params).jobs(options.jobs).backend(backend);
     let mut cache_active = false;
     if let Some(dir) = cache_dir {
         // An unusable cache location degrades to an uncached run: caching
@@ -230,7 +293,13 @@ fn main() -> ExitCode {
         eprintln!("warning: --refresh has no effect without an active cache");
     }
     let started = Instant::now();
-    let summary = runner.run(&selected);
+    let summary = match runner.try_run_with_stats(&selected) {
+        Ok((summary, _stats)) => summary,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
     let elapsed = started.elapsed();
 
     let mut sinks: Vec<Box<dyn ReportSink>> = Vec::new();

@@ -12,6 +12,10 @@
 //! `ONIONBOTS_CACHE_DIR`) replays previously computed parts from the
 //! content-addressed [`sim::ResultCache`] with byte-identical output —
 //! see `EXPERIMENTS.md` at the repository root for the full walkthrough.
+//! With `--backend process` the run fans its work items out to
+//! `run_experiments worker` subprocesses (the [`worker`] module) over the
+//! newline-delimited JSON protocol in [`sim::executor`], with the same
+//! byte-identical summaries.
 //! The per-figure binaries in `src/bin/` are thin wrappers that delegate
 //! to the same registry, and the Criterion benchmarks in `benches/` cover
 //! the micro-level costs (repair, routing, metrics, descriptors, crypto,
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod scenarios;
+pub mod worker;
 
 use sim::scenario_api::ScenarioParams;
 

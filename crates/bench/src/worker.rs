@@ -1,0 +1,111 @@
+//! The hidden `run_experiments worker` mode: the subprocess side of the
+//! [`sim::ProcessExecutor`] backend.
+//!
+//! A worker is a plain filter: it reads one [`sim::WorkItem`] JSON line
+//! at a time from stdin, looks the scenario up by id in the same
+//! [`registry`](crate::scenarios::registry) the parent uses, executes
+//! the part with its precomputed seed, and writes one [`sim::PartResult`]
+//! JSON line to stdout. Per-item failures (an unknown scenario id) are
+//! reported *in* the result line — the parent aggregates status and
+//! prints every summary; a worker writes nothing to stdout but result
+//! lines and nothing user-facing to stderr.
+//!
+//! EOF on stdin is the shutdown signal: the parent closes the pipe and
+//! the worker exits cleanly. Crash-recovery tests inject deterministic
+//! deaths through [`CRASH_AFTER_ENV`].
+
+use std::io;
+
+use sim::executor::serve_work_items;
+
+use crate::scenarios;
+
+/// Environment variable for deterministic crash injection: a worker with
+/// `ONIONBOTS_WORKER_CRASH_AFTER_ITEMS=N` exits abruptly (status 101,
+/// without responding) when it reads item `N + 1`, i.e. after fully
+/// processing `N` items. The in-flight item is lost and must be
+/// re-queued by the parent — exactly the failure mode a real worker
+/// death produces. Respawned workers inherit the variable, so every
+/// incarnation survives `N` items; any `N >= 1` still converges.
+pub const CRASH_AFTER_ENV: &str = "ONIONBOTS_WORKER_CRASH_AFTER_ITEMS";
+
+/// Runs the worker loop over stdin/stdout until EOF.
+///
+/// # Errors
+/// Returns the underlying I/O error when a pipe breaks or the parent
+/// sends a malformed work item (a protocol violation, not a recoverable
+/// condition).
+pub fn run_worker() -> io::Result<()> {
+    let registry = scenarios::registry();
+    let crash_after = std::env::var(CRASH_AFTER_ENV)
+        .ok()
+        .and_then(|raw| raw.parse::<usize>().ok());
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_work_items(stdin.lock(), stdout.lock(), crash_after, |id| {
+        registry.get(id)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use sim::executor::{run_work_item, serve_work_items, PartResult, WorkItem};
+    use sim::scenario_api::ScenarioParams;
+
+    use crate::scenarios;
+
+    /// Drives the worker loop against the real registry through in-memory
+    /// pipes, mirroring what `run_worker` wires to stdin/stdout.
+    fn serve(lines: &str) -> Vec<PartResult> {
+        let registry = scenarios::registry();
+        let mut output = Vec::new();
+        serve_work_items(lines.as_bytes(), &mut output, None, |id| registry.get(id)).unwrap();
+        std::str::from_utf8(&output)
+            .unwrap()
+            .lines()
+            .map(|line| serde_json::from_str(line).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn worker_resolves_registry_scenarios_by_id_and_matches_in_process_runs() {
+        let registry = scenarios::registry();
+        let fig6 = registry.get("fig6").unwrap();
+        let params = ScenarioParams::with_seed(7)
+            .with_override("steps", "2")
+            .with_override("step-nodes", "500");
+        let items: Vec<WorkItem> = (0..2)
+            .map(|part| WorkItem::new(&*fig6, part, &params))
+            .collect();
+        let input: String = items
+            .iter()
+            .map(|item| serde_json::to_string(item).unwrap() + "\n")
+            .collect();
+        let results = serve(&input);
+        assert_eq!(results.len(), 2);
+        for (item, result) in items.iter().zip(&results) {
+            assert_eq!(result.error, None);
+            assert_eq!(result.fingerprint, item.fingerprint);
+            assert_eq!(
+                result.reports,
+                run_work_item(&*fig6, item),
+                "worker output must equal in-process execution"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_reports_unknown_scenarios_per_item_instead_of_dying() {
+        let registry = scenarios::registry();
+        let fig6 = registry.get("fig6").unwrap();
+        let params = ScenarioParams::with_seed(1).with_override("steps", "1");
+        let mut stranger = WorkItem::new(&*fig6, 0, &params);
+        stranger.scenario_id = "not-a-scenario".to_string();
+        let input = serde_json::to_string(&stranger).unwrap() + "\n";
+        let results = serve(&input);
+        assert_eq!(results.len(), 1);
+        let error = results[0].error.as_deref().unwrap();
+        assert!(error.contains("not-a-scenario"), "{error}");
+        assert!(results[0].reports.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests for the pluggable execution backends against real
+//! registered scenarios: `RunSummary` byte-equality local-vs-process at
+//! several worker counts, worker-kill recovery with identical output,
+//! retry exhaustion for an item that keeps killing workers, and cache
+//! sharing across backends (parts computed by worker subprocesses replay
+//! as hits in a local run, byte-identically).
+//!
+//! The worker subprocess is this package's own `run_experiments` binary
+//! in its hidden `worker` mode; Cargo points the tests at it via
+//! `CARGO_BIN_EXE_run_experiments`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use onionbots_bench::scenarios;
+use onionbots_bench::worker::CRASH_AFTER_ENV;
+use sim::scenario_api::ScenarioParams;
+use sim::{Backend, ResultCache, Runner, Scenario, WorkerCommand};
+
+fn worker_command() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_run_experiments")).arg("worker")
+}
+
+/// The ISSUE's target parameterization: fig6 plus scale pinned to one
+/// 2000-node part, with sweeps shortened so debug-profile test runs stay
+/// quick. Overrides are declared by both scenarios, so they flow through
+/// work-item scoping.
+fn params(seed: u64) -> ScenarioParams {
+    ScenarioParams::with_seed(seed)
+        .with_override("steps", "4")
+        .with_override("n", "2000")
+        .with_override("waves", "3")
+}
+
+fn selected() -> Vec<Arc<dyn Scenario>> {
+    scenarios::registry()
+        .select(&["fig6".to_string(), "scale".to_string()])
+        .unwrap()
+}
+
+const PARTS: usize = 4 + 1; // fig6 steps=4 + scale collapsed to n=2000
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "onionbots-exec-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn process_backend_is_byte_identical_to_local_at_jobs_1_4_8() {
+    let reference = Runner::new(params(2015)).run(&selected());
+    for jobs in [1, 4, 8] {
+        let local = Runner::new(params(2015)).jobs(jobs).run(&selected());
+        assert_eq!(
+            local.to_json(),
+            reference.to_json(),
+            "local backend, jobs={jobs}"
+        );
+        let process = Runner::new(params(2015))
+            .jobs(jobs)
+            .backend(Backend::Process(worker_command()))
+            .run(&selected());
+        assert_eq!(
+            process.to_json(),
+            reference.to_json(),
+            "process backend, jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn killed_workers_are_respawned_and_the_output_is_unchanged() {
+    let reference = Runner::new(params(7)).run(&selected());
+    // Every worker incarnation abruptly exits while holding its second
+    // item (read, never answered), so the run survives a worker death for
+    // nearly every part and still converges to the same bytes.
+    let flaky = worker_command().env(CRASH_AFTER_ENV, "1");
+    let summary = Runner::new(params(7))
+        .jobs(2)
+        .backend(Backend::Process(flaky))
+        .run(&selected());
+    assert_eq!(summary.to_json(), reference.to_json());
+}
+
+#[test]
+fn an_item_that_keeps_killing_workers_fails_the_run_instead_of_looping() {
+    // Crash-after-zero: every incarnation dies on its very first item, so
+    // no item can ever complete and the retry bound must trip.
+    let hopeless = worker_command().env(CRASH_AFTER_ENV, "0");
+    let error = Runner::new(params(3))
+        .jobs(2)
+        .backend(Backend::Process(hopeless))
+        .try_run_with_stats(&selected())
+        .unwrap_err();
+    let message = error.to_string();
+    assert!(
+        message.contains("worker") && message.contains("giving up"),
+        "unexpected error: {message}"
+    );
+}
+
+#[test]
+fn parts_computed_by_workers_replay_as_local_cache_hits_byte_identically() {
+    let dir = temp_dir("cross-backend-cache");
+    let cache = ResultCache::open(&dir).unwrap();
+    // Cold run on the process backend: every part misses, executes in a
+    // worker subprocess, and is stored by the parent.
+    let (cold, stats) = Runner::new(params(11))
+        .jobs(4)
+        .backend(Backend::Process(worker_command()))
+        .with_cache(cache.clone())
+        .run_with_stats(&selected());
+    let stats = stats.unwrap();
+    assert_eq!(stats.misses, PARTS);
+    assert_eq!(stats.stored, PARTS);
+    assert_eq!(stats.hits, 0);
+    // Warm run on the *local* backend against the same cache: identity is
+    // the fingerprint, which knows nothing about backends.
+    let (warm, stats) = Runner::new(params(11))
+        .jobs(4)
+        .with_cache(cache)
+        .run_with_stats(&selected());
+    let stats = stats.unwrap();
+    assert!(stats.all_hits(), "{stats:?}");
+    assert_eq!(stats.hits, PARTS);
+    assert_eq!(warm.to_json(), cold.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}

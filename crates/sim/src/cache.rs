@@ -60,6 +60,18 @@ use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
 /// bumping it orphans (rather than misreads) all existing entries.
 pub const CACHE_FORMAT_VERSION: u32 = 1;
 
+/// Whether an override key is relevant to a scenario that declared
+/// `declared` consumed keys (`None` = unknown, every key is relevant).
+///
+/// This single predicate defines override scoping for both the
+/// fingerprint hash and the serialized
+/// [`WorkItem`](crate::executor::WorkItem) params, keeping the "equal
+/// fingerprints imply bytewise-equal work items" invariant from resting
+/// on two hand-synchronized copies.
+pub(crate) fn override_relevant(declared: Option<&[&str]>, key: &str) -> bool {
+    declared.is_none_or(|keys| keys.contains(&key))
+}
+
 /// The content-addressed identity of one *(scenario, part, params)*
 /// execution.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -91,10 +103,7 @@ impl PartFingerprint {
         feed(&[u8::from(params.full_scale)]);
         let declared = scenario.override_keys();
         for (key, value) in &params.overrides {
-            let relevant = declared
-                .as_ref()
-                .is_none_or(|keys| keys.iter().any(|k| k == key));
-            if relevant {
+            if override_relevant(declared.as_deref(), key) {
                 feed(key.as_bytes());
                 feed(value.as_bytes());
             }
@@ -103,6 +112,24 @@ impl PartFingerprint {
             scenario_id: scenario.id().to_string(),
             part,
             hex: onion_crypto::hex::encode(&hasher.finalize()),
+        }
+    }
+
+    /// Reassembles a fingerprint from its components — the inverse of
+    /// reading [`scenario_id`](Self::scenario_id)/[`part`](Self::part)/
+    /// [`hex`](Self::hex) off a computed one.
+    ///
+    /// This is how a work item that traveled across a process boundary
+    /// (see [`WorkItem`](crate::executor::WorkItem), whose identity is
+    /// exactly this digest) becomes a cache key again without re-running
+    /// [`compute`](Self::compute). The digest is not re-derived or
+    /// validated here; feeding a hex string that `compute` never produced
+    /// simply addresses an entry that does not exist.
+    pub fn from_parts(scenario_id: &str, part: usize, hex: &str) -> Self {
+        PartFingerprint {
+            scenario_id: scenario_id.to_string(),
+            part,
+            hex: hex.to_string(),
         }
     }
 

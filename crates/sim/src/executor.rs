@@ -1,0 +1,920 @@
+//! Pluggable execution backends for the experiment [`Runner`]
+//! (`crate::runner::Runner`).
+//!
+//! The unit of execution is a [`WorkItem`]: one *(scenario id, part,
+//! derived part seed, scale, scoped overrides)* tuple, self-contained
+//! enough that any process holding the scenario registry can execute it
+//! without further context. A work item's identity **is** its cache
+//! fingerprint (the same SHA-256 digest [`PartFingerprint`] derives), so
+//! the cache-aware path — replay hits, execute only misses, store fresh
+//! results — lives entirely above the backend and behaves identically no
+//! matter which backend runs the misses.
+//!
+//! Two backends implement the [`Executor`] trait:
+//!
+//! * [`LocalExecutor`] — the in-process `std::thread` fan-out the
+//!   `Runner` used to hard-wire, extracted with its behavior pinned:
+//!   sequential in-order execution for one job or one item, a shared
+//!   work queue drained by `jobs` scoped threads otherwise.
+//! * [`ProcessExecutor`] — spawns `jobs` worker subprocesses (a
+//!   [`WorkerCommand`], e.g. `run_experiments worker`) and streams
+//!   newline-delimited JSON: one [`WorkItem`] per line down a worker's
+//!   stdin, one [`PartResult`] per line back up its stdout. A worker that
+//!   dies mid-item is reaped, its in-flight item re-queued, and a fresh
+//!   worker spawned in its place; an item that keeps killing workers
+//!   fails the run after a bounded number of retries instead of looping
+//!   forever.
+//!
+//! Because both backends consume the same serialized work items and
+//! per-part seeding makes results position-independent, a `RunSummary`
+//! is byte-identical across backends and worker counts — and a future
+//! remote backend only has to speak the same one-line-JSON protocol.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::PartFingerprint;
+use crate::experiment::ExperimentReport;
+use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
+
+/// One self-contained unit of executable work: a single part of a single
+/// scenario under fully resolved parameters.
+///
+/// The `fingerprint` field is the part's content address — the exact hex
+/// digest [`PartFingerprint::compute`] derives — so work items double as
+/// cache keys and cross-host dedup keys. `params` carries the base seed
+/// and scale verbatim but only the *scoped* overrides: the keys the
+/// scenario declares via [`Scenario::override_keys`] (all of them when
+/// the scenario declares none). Scoping makes the item's bytes match its
+/// identity — two items with equal fingerprints are bytewise equal — and
+/// keeps undeclared-key leakage from ever differing between backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// Registry id of the scenario to run.
+    pub scenario_id: String,
+    /// Part index within the scenario.
+    pub part: usize,
+    /// The derived per-part RNG seed ([`part_seed`]), precomputed so a
+    /// worker does not need to re-derive it.
+    pub part_seed: u64,
+    /// Hex SHA-256 content address; equals
+    /// [`PartFingerprint::compute`]`(..).hex()` for this item.
+    pub fingerprint: String,
+    /// Base seed, scale and scoped overrides the part runs with.
+    pub params: ScenarioParams,
+}
+
+impl WorkItem {
+    /// Builds the work item for `part` of `scenario` under `params`,
+    /// scoping the overrides and computing the content address.
+    pub fn new(scenario: &dyn Scenario, part: usize, params: &ScenarioParams) -> Self {
+        let declared = scenario.override_keys();
+        let mut scoped = params.clone();
+        scoped
+            .overrides
+            .retain(|key, _| crate::cache::override_relevant(declared.as_deref(), key));
+        let fingerprint = PartFingerprint::compute(scenario, part, params);
+        WorkItem {
+            scenario_id: scenario.id().to_string(),
+            part,
+            part_seed: part_seed(params.seed, scenario.id(), part),
+            fingerprint: fingerprint.hex().to_string(),
+            params: scoped,
+        }
+    }
+
+    /// The item's identity as a [`PartFingerprint`] (for cache lookups
+    /// and stores).
+    pub fn part_fingerprint(&self) -> PartFingerprint {
+        PartFingerprint::from_parts(&self.scenario_id, self.part, &self.fingerprint)
+    }
+}
+
+/// The result of executing one [`WorkItem`]: the reports, or a per-item
+/// error the backend could not recover from (e.g. the worker process does
+/// not have the scenario registered).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartResult {
+    /// Echo of [`WorkItem::scenario_id`].
+    pub scenario_id: String,
+    /// Echo of [`WorkItem::part`].
+    pub part: usize,
+    /// Echo of [`WorkItem::fingerprint`], so results can be matched to
+    /// items (and stored in the cache) without positional bookkeeping.
+    pub fingerprint: String,
+    /// The reports the part produced (empty on error).
+    pub reports: Vec<ExperimentReport>,
+    /// Per-item status: `None` means success, `Some(message)` means the
+    /// item could not be executed. Workers report status per item; the
+    /// parent aggregates and reports, so a worker never prints summaries.
+    pub error: Option<String>,
+}
+
+impl PartResult {
+    /// A successful result for `item`.
+    pub fn ok(item: &WorkItem, reports: Vec<ExperimentReport>) -> Self {
+        PartResult {
+            scenario_id: item.scenario_id.clone(),
+            part: item.part,
+            fingerprint: item.fingerprint.clone(),
+            reports,
+            error: None,
+        }
+    }
+
+    /// A failed result for `item`.
+    pub fn failed(item: &WorkItem, error: impl Into<String>) -> Self {
+        PartResult {
+            scenario_id: item.scenario_id.clone(),
+            part: item.part,
+            fingerprint: item.fingerprint.clone(),
+            reports: Vec::new(),
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// Executes one work item against its (already resolved) scenario: seed
+/// the part RNG from the precomputed [`WorkItem::part_seed`] and run the
+/// part. This is the one place both backends (and the worker loop) call,
+/// so local and remote execution cannot drift apart.
+pub fn run_work_item(scenario: &dyn Scenario, item: &WorkItem) -> Vec<ExperimentReport> {
+    let mut rng = StdRng::seed_from_u64(item.part_seed);
+    scenario.run_part(item.part, &item.params, &mut rng)
+}
+
+/// Error produced when a backend cannot complete its batch of work items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorError {
+    message: String,
+}
+
+impl ExecutorError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ExecutorError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// A pluggable execution backend.
+///
+/// `execute` consumes a batch of [`WorkItem`]s and returns one successful
+/// [`PartResult`] per item, in **completion order** (callers reassemble
+/// by `(scenario, part)`; nothing about the output order is guaranteed).
+/// Backends retry transient failures themselves; an `Err` means the batch
+/// could not be completed and the run must fail.
+pub trait Executor: Send + Sync {
+    /// Executes every item, returning their results in completion order.
+    ///
+    /// # Errors
+    /// Returns an [`ExecutorError`] when any item cannot be executed
+    /// (unknown scenario, worker that keeps dying, ...).
+    fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError>;
+}
+
+/// The in-process backend: the `std::thread` fan-out previously embedded
+/// in the `Runner`, extracted verbatim.
+///
+/// One job (or at most one item) executes sequentially in submission
+/// order on the calling thread; otherwise `jobs` scoped threads drain a
+/// shared queue.
+pub struct LocalExecutor {
+    scenarios: Vec<Arc<dyn Scenario>>,
+    jobs: usize,
+}
+
+impl LocalExecutor {
+    /// Creates a single-threaded local executor resolving ids against
+    /// `scenarios`.
+    pub fn new(scenarios: Vec<Arc<dyn Scenario>>) -> Self {
+        LocalExecutor { scenarios, jobs: 1 }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    fn resolve(&self, id: &str) -> Result<&Arc<dyn Scenario>, ExecutorError> {
+        self.scenarios.iter().find(|s| s.id() == id).ok_or_else(|| {
+            ExecutorError::new(format!("scenario '{id}' is not known to this executor"))
+        })
+    }
+}
+
+impl Executor for LocalExecutor {
+    fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .map(|item| {
+                    let scenario = self.resolve(&item.scenario_id)?;
+                    let reports = run_work_item(&**scenario, &item);
+                    Ok(PartResult::ok(&item, reports))
+                })
+                .collect();
+        }
+        // Resolve every id up front so an unknown scenario fails before
+        // any thread starts, then drain a shared queue exactly like the
+        // pre-extraction Runner did.
+        let resolved: Vec<(Arc<dyn Scenario>, WorkItem)> = items
+            .into_iter()
+            .map(|item| Ok((self.resolve(&item.scenario_id)?.clone(), item)))
+            .collect::<Result<_, ExecutorError>>()?;
+        let workers = self.jobs.min(resolved.len());
+        let queue = Mutex::new(VecDeque::from(resolved));
+        let results = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = queue.lock().expect("queue lock").pop_front();
+                    let Some((scenario, item)) = next else {
+                        break;
+                    };
+                    let reports = run_work_item(&*scenario, &item);
+                    results
+                        .lock()
+                        .expect("results lock")
+                        .push(PartResult::ok(&item, reports));
+                });
+            }
+        });
+        Ok(results.into_inner().expect("results lock"))
+    }
+}
+
+/// How to launch one worker subprocess for the [`ProcessExecutor`]:
+/// program, arguments and any extra environment variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+    envs: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    /// A worker launched as `program` with no arguments.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+        }
+    }
+
+    /// Appends one argument.
+    #[must_use]
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Sets one extra environment variable for the worker (on top of the
+    /// inherited environment). Used, among other things, to inject
+    /// deterministic crashes in the worker-recovery tests.
+    #[must_use]
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    fn command(&self) -> Command {
+        let mut command = Command::new(&self.program);
+        command.args(&self.args);
+        for (key, value) in &self.envs {
+            command.env(key, value);
+        }
+        command
+    }
+}
+
+/// A live worker subprocess with line-buffered JSON pipes.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    /// Items this incarnation answered successfully — distinguishes a
+    /// worker that dies on its very first item (the item is suspect) from
+    /// one that wears out after completing work (the item is innocent).
+    completed: usize,
+}
+
+impl Worker {
+    fn spawn(command: &WorkerCommand) -> io::Result<Self> {
+        let mut child = command
+            .command()
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            // stderr is inherited: worker panics and warnings surface on
+            // the parent's stderr, but workers never print summaries.
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(Worker {
+            child,
+            stdin,
+            stdout,
+            completed: 0,
+        })
+    }
+
+    /// Sends one item and reads back its result. Any error here means the
+    /// worker is unusable (died, closed its pipes, emitted garbage) and
+    /// must be replaced.
+    fn round_trip(&mut self, item: &WorkItem) -> io::Result<PartResult> {
+        let line = serde_json::to_string(item).expect("work items serialize");
+        self.stdin.write_all(line.as_bytes())?;
+        self.stdin.write_all(b"\n")?;
+        self.stdin.flush()?;
+        let mut response = String::new();
+        if self.stdout.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "worker closed its stdout mid-item",
+            ));
+        }
+        serde_json::from_str(&response).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker sent an unparseable result line: {e}"),
+            )
+        })
+    }
+
+    /// Reaps a worker that is known or suspected dead.
+    fn reap(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Shuts a healthy worker down: closing stdin delivers EOF, the
+    /// worker loop exits, and the child is reaped.
+    fn shutdown(self) {
+        let Worker {
+            mut child, stdin, ..
+        } = self;
+        drop(stdin);
+        let _ = child.wait();
+    }
+}
+
+/// Default bound on how many *freshly spawned* workers one item may kill
+/// before the run fails.
+pub const DEFAULT_MAX_ITEM_RETRIES: usize = 3;
+
+/// The multi-process backend: `jobs` worker subprocesses speaking
+/// newline-delimited JSON over stdin/stdout.
+///
+/// Each parent-side thread owns one worker and drains the shared queue
+/// through it. When a worker dies mid-item the item is re-queued and a
+/// replacement worker is spawned on demand, so a crashing worker costs
+/// retries, never results. Only deaths of *fresh* workers (no completed
+/// items since spawn) are charged to the in-flight item — that is the
+/// toxic-item signature — and an item that kills more than
+/// [`DEFAULT_MAX_ITEM_RETRIES`] fresh workers fails the run; workers
+/// that wear out after completing items can die indefinitely as long as
+/// each incarnation makes progress.
+pub struct ProcessExecutor {
+    command: WorkerCommand,
+    jobs: usize,
+    max_item_retries: usize,
+}
+
+impl ProcessExecutor {
+    /// Creates a process executor with one worker.
+    pub fn new(command: WorkerCommand) -> Self {
+        ProcessExecutor {
+            command,
+            jobs: 1,
+            max_item_retries: DEFAULT_MAX_ITEM_RETRIES,
+        }
+    }
+
+    /// Sets the number of worker subprocesses (clamped to at least 1).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets how many times one item may be re-queued after a worker death
+    /// before the run fails.
+    #[must_use]
+    pub fn max_item_retries(mut self, retries: usize) -> Self {
+        self.max_item_retries = retries;
+        self
+    }
+}
+
+impl Executor for ProcessExecutor {
+    fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.jobs.min(items.len());
+        let queue: Mutex<VecDeque<(WorkItem, usize)>> =
+            Mutex::new(items.into_iter().map(|item| (item, 0)).collect());
+        let results: Mutex<Vec<PartResult>> = Mutex::new(Vec::new());
+        let fatal: Mutex<Option<ExecutorError>> = Mutex::new(None);
+        let fail = |message: String| {
+            fatal
+                .lock()
+                .expect("fatal lock")
+                .get_or_insert(ExecutorError::new(message));
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut worker: Option<Worker> = None;
+                    loop {
+                        if fatal.lock().expect("fatal lock").is_some() {
+                            break;
+                        }
+                        let next = queue.lock().expect("queue lock").pop_front();
+                        let Some((item, retries)) = next else {
+                            break;
+                        };
+                        if worker.is_none() {
+                            match Worker::spawn(&self.command) {
+                                Ok(spawned) => worker = Some(spawned),
+                                Err(e) => {
+                                    fail(format!(
+                                        "cannot spawn worker process '{}': {e}",
+                                        self.command.program.display()
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        let active = worker.as_mut().expect("worker just ensured");
+                        match active.round_trip(&item) {
+                            Ok(result) => {
+                                if let Some(error) = &result.error {
+                                    fail(format!(
+                                        "worker failed on {}#{}: {error}",
+                                        item.scenario_id, item.part
+                                    ));
+                                    break;
+                                }
+                                if result.scenario_id != item.scenario_id
+                                    || result.part != item.part
+                                    || result.fingerprint != item.fingerprint
+                                {
+                                    fail(format!(
+                                        "worker answered {}#{} with a result for {}#{} (protocol error)",
+                                        item.scenario_id,
+                                        item.part,
+                                        result.scenario_id,
+                                        result.part
+                                    ));
+                                    break;
+                                }
+                                active.completed += 1;
+                                results.lock().expect("results lock").push(result);
+                            }
+                            Err(e) => {
+                                // The worker is gone or confused: reap it,
+                                // re-queue the in-flight item and respawn
+                                // lazily on the next loop iteration. The
+                                // death only counts against the item when
+                                // the worker died on its *first* item
+                                // since spawn — a toxic item kills every
+                                // fresh worker it meets, while a worker
+                                // wearing out after completed work says
+                                // nothing about the item it happened to
+                                // hold (charging those would fail runs
+                                // whose workers crash every N items even
+                                // though each incarnation makes progress).
+                                let fresh_death = worker
+                                    .take()
+                                    .map(|dead| {
+                                        let fresh = dead.completed == 0;
+                                        dead.reap();
+                                        fresh
+                                    })
+                                    .unwrap_or(true);
+                                let retries = if fresh_death { retries + 1 } else { retries };
+                                if retries > self.max_item_retries {
+                                    fail(format!(
+                                        "{}#{} killed {retries} fresh worker(s) ({e}); giving up",
+                                        item.scenario_id, item.part
+                                    ));
+                                    break;
+                                }
+                                eprintln!(
+                                    "warning: worker died while running {}#{} ({e}); re-queueing ({retries}/{} charged retries)",
+                                    item.scenario_id,
+                                    item.part,
+                                    self.max_item_retries
+                                );
+                                queue
+                                    .lock()
+                                    .expect("queue lock")
+                                    .push_back((item, retries));
+                            }
+                        }
+                    }
+                    if let Some(active) = worker.take() {
+                        active.shutdown();
+                    }
+                });
+            }
+        });
+        if let Some(error) = fatal.into_inner().expect("fatal lock") {
+            return Err(error);
+        }
+        Ok(results.into_inner().expect("results lock"))
+    }
+}
+
+/// The worker side of the process backend: read one [`WorkItem`] JSON
+/// line at a time from `input`, execute it against `resolve`, and write
+/// one [`PartResult`] JSON line to `output`.
+///
+/// An unknown scenario id becomes a per-item error result (the parent
+/// decides whether that is fatal); a malformed input line is a protocol
+/// violation and returns an error, terminating the worker. The loop exits
+/// cleanly on EOF — the parent closes stdin to shut a worker down.
+///
+/// When `crash_after_items` is `Some(n)`, the worker exits abruptly
+/// (status 101, without responding) upon *reading* item `n + 1` — i.e.
+/// after fully processing `n` items. This is the deterministic
+/// crash-injection hook the worker-recovery tests drive via the
+/// environment (see the `worker` module in `crates/bench`).
+///
+/// # Errors
+/// Returns the underlying I/O error when a pipe breaks or an input line
+/// is not a valid work item.
+pub fn serve_work_items<R, W, F>(
+    input: R,
+    mut output: W,
+    crash_after_items: Option<usize>,
+    resolve: F,
+) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write,
+    F: Fn(&str) -> Option<Arc<dyn Scenario>>,
+{
+    let mut completed = 0usize;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item: WorkItem = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed work item line: {e}"),
+            )
+        })?;
+        if crash_after_items == Some(completed) {
+            // Simulated crash: the item was read but is never answered.
+            std::process::exit(101);
+        }
+        let result = match resolve(&item.scenario_id) {
+            Some(scenario) => PartResult::ok(&item, run_work_item(&*scenario, &item)),
+            None => PartResult::failed(
+                &item,
+                format!(
+                    "scenario '{}' is not registered in this worker",
+                    item.scenario_id
+                ),
+            ),
+        };
+        let rendered = serde_json::to_string(&result).expect("part results serialize");
+        output.write_all(rendered.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        completed += 1;
+    }
+    Ok(())
+}
+
+/// Builds one [`WorkItem`] per part of every scenario, in `(scenario,
+/// part)` order, alongside the scenario's index in `scenarios` — the
+/// planning step the `Runner` feeds into the cache pass and then an
+/// [`Executor`].
+pub fn plan_work_items(
+    scenarios: &[Arc<dyn Scenario>],
+    params: &ScenarioParams,
+) -> Vec<(usize, WorkItem)> {
+    let mut items = Vec::new();
+    for (scenario_idx, scenario) in scenarios.iter().enumerate() {
+        for part in 0..scenario.parts(params).max(1) {
+            items.push((scenario_idx, WorkItem::new(&**scenario, part, params)));
+        }
+    }
+    items
+}
+
+/// Maps scenario ids back to their index in `scenarios`, verifying
+/// uniqueness — with ids as the wire identity, two scenarios sharing an
+/// id would make results ambiguous.
+///
+/// # Panics
+/// Panics when two scenarios share an id (the registry already rejects
+/// this; direct `Runner` callers get the same contract).
+pub fn index_by_id(scenarios: &[Arc<dyn Scenario>]) -> HashMap<String, usize> {
+    let mut by_id = HashMap::new();
+    for (idx, scenario) in scenarios.iter().enumerate() {
+        let previous = by_id.insert(scenario.id().to_string(), idx);
+        assert!(
+            previous.is_none(),
+            "scenario id '{}' appears twice in one run",
+            scenario.id()
+        );
+    }
+    by_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Series;
+    use rand::Rng;
+
+    struct Toy {
+        id: &'static str,
+        parts: usize,
+        keys: Option<Vec<&'static str>>,
+    }
+
+    impl Scenario for Toy {
+        fn id(&self) -> &str {
+            self.id
+        }
+        fn title(&self) -> &str {
+            "toy"
+        }
+        fn override_keys(&self) -> Option<Vec<&str>> {
+            self.keys.clone()
+        }
+        fn parts(&self, _params: &ScenarioParams) -> usize {
+            self.parts
+        }
+        fn run_part(
+            &self,
+            part: usize,
+            params: &ScenarioParams,
+            rng: &mut StdRng,
+        ) -> Vec<ExperimentReport> {
+            let offset = params.override_f64("offset", 0.0);
+            let mut r = ExperimentReport::new(self.id, "toy", "part", "value");
+            r.push_series(Series::new(
+                "trace",
+                vec![part as f64],
+                vec![offset + rng.gen_range(0.0f64..1.0)],
+            ));
+            vec![r]
+        }
+    }
+
+    fn toys() -> Vec<Arc<dyn Scenario>> {
+        vec![
+            Arc::new(Toy {
+                id: "t1",
+                parts: 3,
+                keys: Some(vec!["offset"]),
+            }),
+            Arc::new(Toy {
+                id: "t2",
+                parts: 2,
+                keys: None,
+            }),
+        ]
+    }
+
+    #[test]
+    fn work_items_scope_overrides_to_declared_keys() {
+        let params = ScenarioParams::with_seed(5)
+            .with_override("offset", "2.0")
+            .with_override("unrelated", "1");
+        let declared = Toy {
+            id: "t1",
+            parts: 1,
+            keys: Some(vec!["offset"]),
+        };
+        let item = WorkItem::new(&declared, 0, &params);
+        assert_eq!(item.params.override_str("offset"), Some("2.0"));
+        assert_eq!(
+            item.params.override_str("unrelated"),
+            None,
+            "undeclared keys are stripped"
+        );
+        // A scenario with unknown keys keeps every override.
+        let unknown = Toy {
+            id: "t2",
+            parts: 1,
+            keys: None,
+        };
+        let item = WorkItem::new(&unknown, 0, &params);
+        assert_eq!(item.params.override_str("unrelated"), Some("1"));
+    }
+
+    #[test]
+    fn work_item_identity_is_the_cache_fingerprint() {
+        let params = ScenarioParams::with_seed(9).with_override("unrelated", "x");
+        let scenario = Toy {
+            id: "t1",
+            parts: 2,
+            keys: Some(vec!["offset"]),
+        };
+        let item = WorkItem::new(&scenario, 1, &params);
+        let fp = PartFingerprint::compute(&scenario, 1, &params);
+        assert_eq!(item.fingerprint, fp.hex());
+        assert_eq!(item.part_fingerprint(), fp);
+        assert_eq!(item.part_seed, part_seed(params.seed, "t1", 1));
+        // Equal fingerprints imply bytewise-equal items: the digest already
+        // ignores undeclared overrides, and scoping strips them from the
+        // serialized params too.
+        let stripped = ScenarioParams::with_seed(9);
+        assert_eq!(item, WorkItem::new(&scenario, 1, &stripped));
+    }
+
+    #[test]
+    fn protocol_messages_roundtrip_through_json_lines() {
+        let params = ScenarioParams::with_seed(3).with_override("offset", "1.5");
+        let scenario = Toy {
+            id: "t1",
+            parts: 1,
+            keys: Some(vec!["offset"]),
+        };
+        let item = WorkItem::new(&scenario, 0, &params);
+        let line = serde_json::to_string(&item).unwrap();
+        assert!(!line.contains('\n'), "one item per line");
+        let parsed: WorkItem = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed, item);
+
+        let result = PartResult::ok(&item, run_work_item(&scenario, &item));
+        let line = serde_json::to_string(&result).unwrap();
+        assert!(!line.contains('\n'), "one result per line");
+        let parsed: PartResult = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed, result);
+
+        let failed = PartResult::failed(&item, "boom");
+        let parsed: PartResult =
+            serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
+        assert_eq!(parsed.error.as_deref(), Some("boom"));
+        assert!(parsed.reports.is_empty());
+    }
+
+    #[test]
+    fn local_executor_matches_sequential_scenario_runs_at_any_jobs() {
+        let params = ScenarioParams::with_seed(11);
+        let items: Vec<WorkItem> = plan_work_items(&toys(), &params)
+            .into_iter()
+            .map(|(_, item)| item)
+            .collect();
+        let reference = LocalExecutor::new(toys()).execute(items.clone()).unwrap();
+        for jobs in [2, 8] {
+            let mut parallel = LocalExecutor::new(toys())
+                .jobs(jobs)
+                .execute(items.clone())
+                .unwrap();
+            parallel.sort_by(|a, b| (&a.scenario_id, a.part).cmp(&(&b.scenario_id, b.part)));
+            let mut sorted_reference = reference.clone();
+            sorted_reference
+                .sort_by(|a, b| (&a.scenario_id, a.part).cmp(&(&b.scenario_id, b.part)));
+            assert_eq!(parallel, sorted_reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn local_executor_rejects_unknown_scenarios() {
+        let params = ScenarioParams::with_seed(1);
+        let stranger = Toy {
+            id: "stranger",
+            parts: 1,
+            keys: None,
+        };
+        let item = WorkItem::new(&stranger, 0, &params);
+        let error = LocalExecutor::new(toys()).execute(vec![item]).unwrap_err();
+        assert!(error.to_string().contains("stranger"), "{error}");
+    }
+
+    #[test]
+    fn serve_work_items_executes_and_reports_per_item_status() {
+        let params = ScenarioParams::with_seed(2);
+        let scenarios = toys();
+        let known = WorkItem::new(&*scenarios[0], 0, &params);
+        let stranger = Toy {
+            id: "stranger",
+            parts: 1,
+            keys: None,
+        };
+        let unknown = WorkItem::new(&stranger, 0, &params);
+        let input = format!(
+            "{}\n\n{}\n",
+            serde_json::to_string(&known).unwrap(),
+            serde_json::to_string(&unknown).unwrap()
+        );
+        let mut output = Vec::new();
+        let lookup = {
+            let scenarios = scenarios.clone();
+            move |id: &str| scenarios.iter().find(|s| s.id() == id).cloned()
+        };
+        serve_work_items(input.as_bytes(), &mut output, None, lookup).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(
+            lines.len(),
+            2,
+            "one result line per item, blank lines skipped"
+        );
+        let first: PartResult = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.error, None);
+        assert_eq!(first.fingerprint, known.fingerprint);
+        assert_eq!(
+            first.reports,
+            run_work_item(&*scenarios[0], &known),
+            "worker output equals in-process execution"
+        );
+        let second: PartResult = serde_json::from_str(lines[1]).unwrap();
+        assert!(second.error.as_deref().unwrap().contains("stranger"));
+    }
+
+    #[test]
+    fn serve_work_items_rejects_malformed_lines() {
+        let mut output = Vec::new();
+        let error = serve_work_items("this is not json\n".as_bytes(), &mut output, None, |_| {
+            None::<Arc<dyn Scenario>>
+        })
+        .unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn plan_work_items_enumerates_every_part_in_order() {
+        let params = ScenarioParams::with_seed(4);
+        let planned = plan_work_items(&toys(), &params);
+        let shape: Vec<(usize, &str, usize)> = planned
+            .iter()
+            .map(|(idx, item)| (*idx, item.scenario_id.as_str(), item.part))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (0, "t1", 0),
+                (0, "t1", 1),
+                (0, "t1", 2),
+                (1, "t2", 0),
+                (1, "t2", 1)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_ids_in_one_run_are_rejected() {
+        let twins: Vec<Arc<dyn Scenario>> = vec![
+            Arc::new(Toy {
+                id: "twin",
+                parts: 1,
+                keys: None,
+            }),
+            Arc::new(Toy {
+                id: "twin",
+                parts: 1,
+                keys: None,
+            }),
+        ];
+        index_by_id(&twins);
+    }
+
+    #[test]
+    fn process_executor_fails_cleanly_when_the_worker_cannot_spawn() {
+        let params = ScenarioParams::with_seed(1);
+        let scenario = Toy {
+            id: "t1",
+            parts: 1,
+            keys: None,
+        };
+        let item = WorkItem::new(&scenario, 0, &params);
+        let command = WorkerCommand::new("/nonexistent/onionbots-worker-binary");
+        let error = ProcessExecutor::new(command)
+            .execute(vec![item])
+            .unwrap_err();
+        assert!(error.to_string().contains("cannot spawn worker"), "{error}");
+    }
+}

@@ -12,10 +12,17 @@
 //!   independently runnable parts), [`ScenarioParams`] and the
 //!   [`ScenarioRegistry`] that `crates/bench` populates with every paper
 //!   figure/table/ablation.
-//! * [`runner`] — the parallel [`Runner`]: fans *(scenario, part)* work
-//!   items across `std::thread` workers with per-part deterministic seeds
+//! * [`runner`] — the [`Runner`]: plans *(scenario, part)* work items
+//!   with per-part deterministic seeds, resolves them against the result
+//!   cache, dispatches the misses to a pluggable execution [`Backend`]
 //!   and collects a [`RunSummary`] whose JSON is byte-identical for any
-//!   worker count.
+//!   worker count and backend.
+//! * [`executor`] — the execution backends behind the runner: the
+//!   [`Executor`] trait over serializable [`WorkItem`]s (whose identity
+//!   is the cache fingerprint), the in-process [`LocalExecutor`] thread
+//!   pool and the [`ProcessExecutor`], which streams newline-delimited
+//!   JSON work items to `run_experiments worker` subprocesses and
+//!   re-queues items when a worker dies.
 //! * [`cache`] — the persistent, content-addressed [`ResultCache`]: stores
 //!   each part's reports under a SHA-256 fingerprint of *(scenario id,
 //!   part, seed, scale, overrides, format version)* so re-runs only
@@ -46,14 +53,18 @@
 
 pub mod cache;
 pub mod engine;
+pub mod executor;
 pub mod experiment;
 pub mod runner;
 pub mod scenario;
 pub mod scenario_api;
 
 pub use cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache, CACHE_FORMAT_VERSION};
+pub use executor::{
+    Executor, ExecutorError, LocalExecutor, PartResult, ProcessExecutor, WorkItem, WorkerCommand,
+};
 pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
-pub use runner::{RunSummary, Runner, ScenarioOutcome};
+pub use runner::{Backend, RunSummary, Runner, ScenarioOutcome};
 pub use scenario::{gradual_takedown, partition_threshold, TakedownMode, TakedownParams};
 pub use scenario_api::{
     merge_reports, parse_override, part_seed, Scenario, ScenarioParams, ScenarioRegistry,

@@ -1,31 +1,36 @@
-//! The parallel experiment [`Runner`]: fans scenario parts across worker
-//! threads and collects deterministic [`RunSummary`] results.
+//! The experiment [`Runner`]: plans *(scenario, part)* work items,
+//! resolves them against the result cache, and hands the misses to a
+//! pluggable execution [`Backend`].
 //!
-//! The unit of scheduling is a *(scenario, part)* pair, so independent
-//! series inside one scenario (the `k = 5/10/15` variants of Figure 4, the
-//! fifteen sizes of Figure 6, ...) parallelize just like independent
-//! scenarios do. Every part draws its RNG from
-//! [`part_seed`](crate::scenario_api::part_seed) and results are merged in
-//! part order, which makes a `RunSummary` — including its JSON rendering —
-//! byte-identical for any worker count.
+//! The unit of scheduling is a [`WorkItem`] — *(scenario id, part,
+//! derived part seed, scale, scoped overrides)*, see [`crate::executor`]
+//! — so independent series inside one scenario (the `k = 5/10/15`
+//! variants of Figure 4, the fifteen sizes of Figure 6, ...) parallelize
+//! just like independent scenarios do. Every part draws its RNG from
+//! [`part_seed`](crate::scenario_api::part_seed) and results are merged
+//! in part order, which makes a [`RunSummary`] — including its JSON
+//! rendering — byte-identical for any worker count *and any backend*.
 //!
-//! With [`Runner::with_cache`] a [`ResultCache`] is consulted before
-//! scheduling: parts whose fingerprint resolves to a valid entry are
-//! replayed from disk, only the misses are fanned across the workers, and
-//! fresh results are written back — the summary stays byte-identical to an
-//! uncached run because per-part seeding makes cached and recomputed
-//! reports interchangeable.
+//! The cache-aware path sits entirely above the backend: with
+//! [`Runner::with_cache`] every planned item is first resolved against
+//! the [`ResultCache`] by its fingerprint (which is the work item's
+//! identity), hits are replayed from disk, and only the misses are
+//! dispatched — to in-process threads ([`Backend::Local`]), worker
+//! subprocesses ([`Backend::Process`]) or any custom [`Executor`]
+//! ([`Backend::Custom`]). Workers report per-item status; the parent
+//! aggregates the [`CacheStats`] and prints the single stderr summary.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache};
+use crate::executor::{
+    index_by_id, plan_work_items, Executor, ExecutorError, LocalExecutor, PartResult,
+    ProcessExecutor, WorkItem, WorkerCommand,
+};
 use crate::experiment::ExperimentReport;
-use crate::scenario_api::{merge_reports, part_seed, Scenario, ScenarioParams};
+use crate::scenario_api::{merge_reports, Scenario, ScenarioParams};
 
 /// All reports produced by one scenario in a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,8 +48,8 @@ pub struct ScenarioOutcome {
 /// The deterministic result of a [`Runner`] invocation.
 ///
 /// Contains no timing data on purpose: two runs with the same params and
-/// scenario set serialize to byte-identical JSON regardless of `jobs`.
-/// Wall-clock measurement is the caller's concern.
+/// scenario set serialize to byte-identical JSON regardless of `jobs` or
+/// the execution backend. Wall-clock measurement is the caller's concern.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// The parameters every scenario ran with.
@@ -65,28 +70,55 @@ impl RunSummary {
     }
 }
 
-/// Executes a selected set of scenarios, optionally in parallel and
-/// optionally backed by a [`ResultCache`].
+/// Which execution backend a [`Runner`] dispatches its work items to.
+#[derive(Clone, Default)]
+pub enum Backend {
+    /// In-process `std::thread` fan-out (the default).
+    #[default]
+    Local,
+    /// Worker subprocesses launched from this command, speaking the
+    /// newline-delimited JSON work-item protocol.
+    Process(WorkerCommand),
+    /// Any user-provided executor (e.g. a remote/multi-host backend that
+    /// speaks the same protocol over a different transport).
+    Custom(Arc<dyn Executor>),
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Local => f.write_str("Local"),
+            Backend::Process(command) => f.debug_tuple("Process").field(command).finish(),
+            Backend::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// Executes a selected set of scenarios, optionally in parallel,
+/// optionally backed by a [`ResultCache`], on a pluggable [`Backend`].
 #[derive(Debug, Clone)]
 pub struct Runner {
     params: ScenarioParams,
     jobs: usize,
     cache: Option<ResultCache>,
     refresh: bool,
+    backend: Backend,
 }
 
 impl Runner {
-    /// Creates a single-threaded, uncached runner.
+    /// Creates a single-threaded, uncached runner on the local backend.
     pub fn new(params: ScenarioParams) -> Self {
         Runner {
             params,
             jobs: 1,
             cache: None,
             refresh: false,
+            backend: Backend::Local,
         }
     }
 
-    /// Sets the number of worker threads (clamped to at least 1).
+    /// Sets the number of workers — threads for [`Backend::Local`],
+    /// subprocesses for [`Backend::Process`] (clamped to at least 1).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
         self
@@ -106,47 +138,71 @@ impl Runner {
         self
     }
 
+    /// Selects the execution backend (default: [`Backend::Local`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Runs the scenarios and returns their deterministic summary.
     ///
-    /// Work items are *(scenario, part)* pairs handed out from a shared
-    /// queue; results are reassembled in `(scenario, part)` order before
-    /// merging, so neither scheduling order nor cache hits leak into the
-    /// output.
+    /// Work items are planned in `(scenario, part)` order, resolved
+    /// against the cache, dispatched to the backend, and reassembled in
+    /// `(scenario, part)` order before merging — so neither scheduling
+    /// order, cache hits nor the backend leak into the output.
+    ///
+    /// # Panics
+    /// Panics when the backend fails (e.g. the worker binary cannot be
+    /// spawned); use [`try_run_with_stats`](Self::try_run_with_stats) to
+    /// handle that gracefully.
     pub fn run(&self, scenarios: &[Arc<dyn Scenario>]) -> RunSummary {
         self.run_with_stats(scenarios).0
     }
 
     /// Like [`run`](Self::run), additionally returning the cache counters
-    /// (`None` when no cache is attached). When a cache is attached the
-    /// counters are also reported on stderr, as are store failures — a
-    /// cache that stops being writable mid-run degrades to a warning, never
-    /// a failed run.
+    /// (`None` when no cache is attached).
+    ///
+    /// # Panics
+    /// Panics when the backend fails, like [`run`](Self::run).
     pub fn run_with_stats(
         &self,
         scenarios: &[Arc<dyn Scenario>],
     ) -> (RunSummary, Option<CacheStats>) {
+        self.try_run_with_stats(scenarios)
+            .unwrap_or_else(|error| panic!("execution backend failed: {error}"))
+    }
+
+    /// Runs the scenarios, reporting backend failures as an error instead
+    /// of panicking. When a cache is attached the counters are also
+    /// reported on stderr — by this parent process only, never by a
+    /// worker — as are store failures: a cache that stops being writable
+    /// mid-run degrades to a warning, never a failed run.
+    ///
+    /// # Errors
+    /// Returns the [`ExecutorError`] when the backend cannot complete the
+    /// batch (worker binary missing, an item that keeps killing workers,
+    /// a scenario unknown to the executor, ...).
+    pub fn try_run_with_stats(
+        &self,
+        scenarios: &[Arc<dyn Scenario>],
+    ) -> Result<(RunSummary, Option<CacheStats>), ExecutorError> {
+        let by_id = index_by_id(scenarios);
         let part_counts: Vec<usize> = scenarios
             .iter()
             .map(|s| s.parts(&self.params).max(1))
             .collect();
-        let mut work: VecDeque<(usize, usize)> = VecDeque::new();
-        for (scenario_idx, &parts) in part_counts.iter().enumerate() {
-            for part in 0..parts {
-                work.push_back((scenario_idx, part));
-            }
-        }
+        let work = plan_work_items(scenarios, &self.params);
 
         // Cache pass: resolve every work item to either a replayed result
-        // or a pending execution (with the fingerprint to store under).
+        // or a pending execution. The item's identity *is* the cache
+        // fingerprint, so no separate fingerprinting step exists anymore.
         let mut stats = self.cache.as_ref().map(|_| CacheStats::default());
         let mut cached: Vec<(usize, usize, Vec<ExperimentReport>)> = Vec::new();
-        let mut pending: VecDeque<(usize, usize)> = VecDeque::new();
-        let mut fingerprints: HashMap<(usize, usize), PartFingerprint> = HashMap::new();
+        let mut pending: Vec<WorkItem> = Vec::new();
         match (&self.cache, stats.as_mut()) {
             (Some(cache), Some(stats)) => {
-                for (scenario_idx, part) in work {
-                    let fp =
-                        PartFingerprint::compute(&*scenarios[scenario_idx], part, &self.params);
+                for (scenario_idx, item) in work {
+                    let fp = item.part_fingerprint();
                     if self.refresh {
                         if cache.contains(&fp) {
                             stats.invalidated += 1;
@@ -157,43 +213,82 @@ impl Runner {
                         match cache.lookup(&fp) {
                             CacheLookup::Hit(reports) => {
                                 stats.hits += 1;
-                                cached.push((scenario_idx, part, reports));
+                                cached.push((scenario_idx, item.part, reports));
                                 continue;
                             }
                             CacheLookup::Miss => stats.misses += 1,
                             CacheLookup::Invalid => stats.invalidated += 1,
                         }
                     }
-                    pending.push_back((scenario_idx, part));
-                    fingerprints.insert((scenario_idx, part), fp);
+                    pending.push(item);
                 }
             }
-            _ => pending = work,
+            _ => pending = work.into_iter().map(|(_, item)| item).collect(),
         }
 
-        let executed: Vec<(usize, usize, Vec<ExperimentReport>)> =
-            if self.jobs == 1 || pending.len() <= 1 {
-                pending
-                    .into_iter()
-                    .map(|(scenario_idx, part)| {
-                        let reports = run_one(&*scenarios[scenario_idx], part, &self.params);
-                        (scenario_idx, part, reports)
-                    })
-                    .collect()
-            } else {
-                self.run_parallel(scenarios, pending)
-            };
+        // The fingerprint is unique per item (distinct (scenario, part)
+        // pairs hash differently), so it doubles as the completeness
+        // ledger for the backend's answers; the (scenario, part) echo is
+        // remembered alongside it so a mislabeled result cannot slip
+        // through on a valid fingerprint.
+        let mut awaited: std::collections::HashMap<String, (String, usize)> = pending
+            .iter()
+            .map(|item| {
+                (
+                    item.fingerprint.clone(),
+                    (item.scenario_id.clone(), item.part),
+                )
+            })
+            .collect();
+        let executed = self.dispatch(scenarios, pending)?;
 
-        // Write fresh results back. `fingerprints` is only populated on the
-        // cache path, keyed by (scenario, part) rather than order because
-        // the parallel pool returns results in completion order.
+        // Trust but verify: built-in backends fail fast on per-item
+        // errors, but a Backend::Custom is free to return failed, foreign,
+        // mislabeled, duplicate or missing results — none of which may
+        // reach the cache or silently corrupt the summary.
+        for result in &executed {
+            if let Some(error) = &result.error {
+                return Err(ExecutorError::new(format!(
+                    "backend reported a failed item {}#{}: {error}",
+                    result.scenario_id, result.part
+                )));
+            }
+            match awaited.remove(&result.fingerprint) {
+                Some((scenario_id, part))
+                    if scenario_id == result.scenario_id && part == result.part => {}
+                Some((scenario_id, part)) => {
+                    return Err(ExecutorError::new(format!(
+                        "backend mislabeled the result for {scenario_id}#{part} as {}#{}",
+                        result.scenario_id, result.part
+                    )));
+                }
+                None => {
+                    return Err(ExecutorError::new(format!(
+                        "backend returned an unexpected or duplicate result for {}#{}",
+                        result.scenario_id, result.part
+                    )));
+                }
+            }
+        }
+        if !awaited.is_empty() {
+            return Err(ExecutorError::new(format!(
+                "backend dropped {} work item(s) without a result",
+                awaited.len()
+            )));
+        }
+
+        // Write fresh results back under the identity each result echoes;
+        // the backend returns results in completion order, which is fine
+        // because the fingerprint travels with them.
         if let (Some(cache), Some(stats)) = (&self.cache, stats.as_mut()) {
             let mut first_error: Option<std::io::Error> = None;
-            for (scenario_idx, part, reports) in &executed {
-                let fp = fingerprints
-                    .get(&(*scenario_idx, *part))
-                    .expect("every executed item was fingerprinted");
-                match cache.store(fp, reports) {
+            for result in &executed {
+                let fp = PartFingerprint::from_parts(
+                    &result.scenario_id,
+                    result.part,
+                    &result.fingerprint,
+                );
+                match cache.store(&fp, &result.reports) {
                     Ok(()) => stats.stored += 1,
                     Err(e) => {
                         stats.store_failures += 1;
@@ -211,7 +306,12 @@ impl Runner {
         }
 
         let mut results = cached;
-        results.extend(executed);
+        for result in executed {
+            let scenario_idx = *by_id
+                .get(&result.scenario_id)
+                .expect("executors only return results for submitted items");
+            results.push((scenario_idx, result.part, result.reports));
+        }
         results.sort_by_key(|&(scenario_idx, part, _)| (scenario_idx, part));
         let mut outcomes: Vec<ScenarioOutcome> = scenarios
             .iter()
@@ -226,51 +326,41 @@ impl Runner {
         for (scenario_idx, _part, reports) in results {
             merge_reports(&mut outcomes[scenario_idx].reports, reports);
         }
-        (
+        Ok((
             RunSummary {
                 params: self.params.clone(),
                 outcomes,
             },
             stats,
-        )
+        ))
     }
 
-    fn run_parallel(
+    /// Hands the pending items to the configured backend.
+    fn dispatch(
         &self,
         scenarios: &[Arc<dyn Scenario>],
-        work: VecDeque<(usize, usize)>,
-    ) -> Vec<(usize, usize, Vec<ExperimentReport>)> {
-        let workers = self.jobs.min(work.len());
-        let queue = Mutex::new(work);
-        let results = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let item = queue.lock().expect("queue lock").pop_front();
-                    let Some((scenario_idx, part)) = item else {
-                        break;
-                    };
-                    let reports = run_one(&*scenarios[scenario_idx], part, &self.params);
-                    results
-                        .lock()
-                        .expect("results lock")
-                        .push((scenario_idx, part, reports));
-                });
-            }
-        });
-        results.into_inner().expect("results lock")
+        pending: Vec<WorkItem>,
+    ) -> Result<Vec<PartResult>, ExecutorError> {
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &self.backend {
+            Backend::Local => LocalExecutor::new(scenarios.to_vec())
+                .jobs(self.jobs)
+                .execute(pending),
+            Backend::Process(command) => ProcessExecutor::new(command.clone())
+                .jobs(self.jobs)
+                .execute(pending),
+            Backend::Custom(executor) => executor.execute(pending),
+        }
     }
-}
-
-fn run_one(scenario: &dyn Scenario, part: usize, params: &ScenarioParams) -> Vec<ExperimentReport> {
-    let mut rng = StdRng::seed_from_u64(part_seed(params.seed, scenario.id(), part));
-    scenario.run_part(part, params, &mut rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::experiment::Series;
+    use rand::rngs::StdRng;
     use rand::Rng;
 
     /// A scenario with configurable part count and artificial skew so
@@ -353,6 +443,148 @@ mod tests {
         let summary = Runner::new(ScenarioParams::with_seed(3)).run(&scenarios());
         let restored: RunSummary = serde_json::from_str(&summary.to_json()).unwrap();
         assert_eq!(restored, summary);
+    }
+
+    #[test]
+    fn custom_backend_receives_only_the_planned_items() {
+        use crate::executor::run_work_item;
+
+        /// An executor that records how many items it saw and runs them
+        /// in-process.
+        struct Recording {
+            scenarios: Vec<Arc<dyn Scenario>>,
+            seen: std::sync::Mutex<usize>,
+        }
+
+        impl Executor for Recording {
+            fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+                *self.seen.lock().unwrap() += items.len();
+                Ok(items
+                    .into_iter()
+                    .map(|item| {
+                        let scenario = self
+                            .scenarios
+                            .iter()
+                            .find(|s| s.id() == item.scenario_id)
+                            .expect("known scenario");
+                        let reports = run_work_item(&**scenario, &item);
+                        PartResult::ok(&item, reports)
+                    })
+                    .collect())
+            }
+        }
+
+        let recording = Arc::new(Recording {
+            scenarios: scenarios(),
+            seen: std::sync::Mutex::new(0),
+        });
+        let params = ScenarioParams::with_seed(42);
+        let reference = Runner::new(params.clone()).run(&scenarios());
+        let custom = Runner::new(params)
+            .backend(Backend::Custom(recording.clone()))
+            .run(&scenarios());
+        assert_eq!(custom.to_json(), reference.to_json());
+        assert_eq!(*recording.seen.lock().unwrap(), 7, "4 + 2 + 1 parts");
+    }
+
+    #[test]
+    fn misbehaving_custom_backends_cannot_poison_the_summary_or_cache() {
+        use crate::executor::run_work_item;
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Misbehavior {
+            FailFirst,
+            DropLast,
+            MislabelFirst,
+        }
+
+        /// A custom backend that executes correctly except for one
+        /// configured misbehavior.
+        struct Lossy {
+            scenarios: Vec<Arc<dyn Scenario>>,
+            mode: Misbehavior,
+        }
+
+        impl Executor for Lossy {
+            fn execute(&self, mut items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+                match self.mode {
+                    Misbehavior::FailFirst => {
+                        let first = items.remove(0);
+                        let mut results = vec![PartResult::failed(&first, "simulated oom")];
+                        results.extend(items.iter().map(|item| self.run(item)));
+                        Ok(results)
+                    }
+                    Misbehavior::DropLast => {
+                        items.pop();
+                        Ok(items.iter().map(|item| self.run(item)).collect())
+                    }
+                    Misbehavior::MislabelFirst => {
+                        // Correct reports and a genuine fingerprint, but
+                        // the identity echo points at another scenario.
+                        let mut results: Vec<PartResult> =
+                            items.iter().map(|item| self.run(item)).collect();
+                        results[0].scenario_id = items[1].scenario_id.clone();
+                        results[0].part = items[1].part;
+                        Ok(results)
+                    }
+                }
+            }
+        }
+
+        impl Lossy {
+            fn run(&self, item: &WorkItem) -> PartResult {
+                let scenario = self
+                    .scenarios
+                    .iter()
+                    .find(|s| s.id() == item.scenario_id)
+                    .expect("known scenario");
+                PartResult::ok(item, run_work_item(&**scenario, item))
+            }
+        }
+
+        let (cache, dir) = temp_cache("lossy");
+        let params = ScenarioParams::with_seed(5);
+        for (mode, expected) in [
+            (Misbehavior::FailFirst, "simulated oom"),
+            (Misbehavior::DropLast, "dropped 1 work item"),
+            (Misbehavior::MislabelFirst, "mislabeled the result"),
+        ] {
+            let backend = Backend::Custom(Arc::new(Lossy {
+                scenarios: scenarios(),
+                mode,
+            }));
+            let error = Runner::new(params.clone())
+                .backend(backend)
+                .with_cache(cache.clone())
+                .try_run_with_stats(&scenarios())
+                .unwrap_err();
+            let message = error.to_string();
+            assert!(message.contains(expected), "{message}");
+        }
+        // Nothing was stored: the next cached run misses everywhere
+        // instead of replaying a poisoned (empty or partial) entry.
+        let (_, stats) = Runner::new(params)
+            .with_cache(cache)
+            .run_with_stats(&scenarios());
+        let stats = stats.unwrap();
+        assert_eq!(stats.hits, 0, "no entry from a failed run may survive");
+        assert_eq!(stats.misses, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_backend_surfaces_as_an_error_not_a_hang() {
+        struct Broken;
+        impl Executor for Broken {
+            fn execute(&self, _items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+                Err(ExecutorError::new("backend exploded"))
+            }
+        }
+        let error = Runner::new(ScenarioParams::with_seed(1))
+            .backend(Backend::Custom(Arc::new(Broken)))
+            .try_run_with_stats(&scenarios())
+            .unwrap_err();
+        assert_eq!(error.to_string(), "backend exploded");
     }
 
     fn temp_cache(tag: &str) -> (ResultCache, std::path::PathBuf) {

@@ -100,7 +100,7 @@ impl ScenarioParams {
     /// Panics when the override is present but not a valid `usize` — a
     /// mistyped `--set` value must fail loudly, not silently fall back.
     pub fn override_usize(&self, key: &str, default: usize) -> usize {
-        self.override_parsed(key, default)
+        self.override_usize_opt(key).unwrap_or(default)
     }
 
     /// An override parsed as `usize`, or `None` when the key is absent —
@@ -111,9 +111,7 @@ impl ScenarioParams {
     /// Panics when the override is present but unparseable, like
     /// [`override_usize`](Self::override_usize).
     pub fn override_usize_opt(&self, key: &str) -> Option<usize> {
-        self.overrides
-            .get(key)
-            .map(|_| self.override_parsed(key, 0))
+        self.override_opt(key)
     }
 
     /// An override parsed as `u64`, or `default` when the key is absent.
@@ -122,7 +120,18 @@ impl ScenarioParams {
     /// Panics when the override is present but unparseable, like
     /// [`override_usize`](Self::override_usize).
     pub fn override_u64(&self, key: &str, default: u64) -> u64 {
-        self.override_parsed(key, default)
+        self.override_u64_opt(key).unwrap_or(default)
+    }
+
+    /// An override parsed as `u64`, or `None` when the key is absent —
+    /// the presence-sensitive sibling of
+    /// [`override_u64`](Self::override_u64).
+    ///
+    /// # Panics
+    /// Panics when the override is present but unparseable, like
+    /// [`override_usize`](Self::override_usize).
+    pub fn override_u64_opt(&self, key: &str) -> Option<u64> {
+        self.override_opt(key)
     }
 
     /// An override parsed as `f64`, or `default` when the key is absent.
@@ -131,23 +140,35 @@ impl ScenarioParams {
     /// Panics when the override is present but unparseable, like
     /// [`override_usize`](Self::override_usize).
     pub fn override_f64(&self, key: &str, default: f64) -> f64 {
-        self.override_parsed(key, default)
+        self.override_f64_opt(key).unwrap_or(default)
     }
 
-    fn override_parsed<T>(&self, key: &str, default: T) -> T
+    /// An override parsed as `f64`, or `None` when the key is absent —
+    /// the presence-sensitive sibling of
+    /// [`override_f64`](Self::override_f64).
+    ///
+    /// # Panics
+    /// Panics when the override is present but unparseable, like
+    /// [`override_usize`](Self::override_usize).
+    pub fn override_f64_opt(&self, key: &str) -> Option<f64> {
+        self.override_opt(key)
+    }
+
+    /// The primitive every typed accessor routes through: present keys
+    /// parse (or panic loudly), absent keys are `None`.
+    fn override_opt<T>(&self, key: &str) -> Option<T>
     where
         T: std::str::FromStr,
         T::Err: std::fmt::Display,
     {
-        match self.overrides.get(key) {
-            None => default,
-            Some(raw) => raw.parse().unwrap_or_else(|e| {
+        self.overrides.get(key).map(|raw| {
+            raw.parse().unwrap_or_else(|e| {
                 panic!(
                     "override '{key}={raw}' is not a valid {}: {e}",
                     std::any::type_name::<T>()
                 )
-            }),
-        }
+            })
+        })
     }
 }
 
@@ -526,6 +547,34 @@ mod tests {
         assert!((params.override_f64("rate", 0.0) - 0.25).abs() < 1e-12);
         assert_eq!(params.override_str("n"), Some("500"));
         assert_eq!(params.override_str("missing"), None);
+    }
+
+    #[test]
+    fn presence_sensitive_accessors_cover_every_numeric_type() {
+        let params = ScenarioParams::default()
+            .with_override("n", "500")
+            .with_override("rate", "0.25");
+        assert_eq!(params.override_u64_opt("n"), Some(500));
+        assert_eq!(params.override_u64_opt("missing"), None);
+        assert!((params.override_f64_opt("rate").unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(params.override_f64_opt("missing"), None);
+        // An integer-typed value reads as f64 too (parse, not format).
+        assert!((params.override_f64_opt("n").unwrap() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid")]
+    fn malformed_u64_opt_override_panics_instead_of_none() {
+        // Presence-sensitive accessors must not turn a typo into "absent".
+        let params = ScenarioParams::default().with_override("n", "5x0");
+        params.override_u64_opt("n");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid")]
+    fn malformed_f64_opt_override_panics_instead_of_none() {
+        let params = ScenarioParams::default().with_override("rate", "fast");
+        params.override_f64_opt("rate");
     }
 
     #[test]

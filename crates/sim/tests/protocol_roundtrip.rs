@@ -1,0 +1,123 @@
+//! Property tests for the worker protocol: arbitrary [`WorkItem`]s and
+//! [`PartResult`]s must survive the newline-delimited JSON framing the
+//! [`ProcessExecutor`](sim::ProcessExecutor) and the worker loop use —
+//! one message per line, parse(render(m)) == m, no embedded newlines.
+
+use proptest::prelude::*;
+use sim::executor::{PartResult, WorkItem};
+use sim::experiment::{ExperimentReport, Series};
+use sim::scenario_api::ScenarioParams;
+
+/// A printable-ASCII identifier-ish string (scenario ids, override keys
+/// and values all live in this alphabet in practice; the JSON layer must
+/// not care either way).
+fn ident(rng_bytes: Vec<u8>) -> String {
+    if rng_bytes.is_empty() {
+        return "x".to_string();
+    }
+    rng_bytes
+        .into_iter()
+        .map(|b| {
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_/. ";
+            ALPHABET[b as usize % ALPHABET.len()] as char
+        })
+        .collect()
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 1..16).prop_map(ident)
+}
+
+fn params_strategy() -> impl Strategy<Value = ScenarioParams> {
+    (
+        any::<bool>(),
+        any::<u64>(),
+        prop::collection::vec((ident_strategy(), ident_strategy()), 0..4),
+    )
+        .prop_map(|(full_scale, seed, overrides)| {
+            let mut params = ScenarioParams::with_seed(seed);
+            params.full_scale = full_scale;
+            for (key, value) in overrides {
+                params.overrides.insert(key, value);
+            }
+            params
+        })
+}
+
+fn report_strategy() -> impl Strategy<Value = ExperimentReport> {
+    (
+        ident_strategy(),
+        ident_strategy(),
+        prop::collection::vec((0.0f64..1e9, 0.0f64..1e9), 0..8),
+        prop::collection::vec(ident_strategy(), 0..3),
+    )
+        .prop_map(|(id, title, points, notes)| {
+            let mut report = ExperimentReport::new(id, title, "x", "y");
+            let (x, y): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
+            report.push_series(Series::new("trace", x, y));
+            for note in notes {
+                report.push_note(note);
+            }
+            report
+        })
+}
+
+fn work_item_strategy() -> impl Strategy<Value = WorkItem> {
+    (
+        (ident_strategy(), 0usize..64),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 32..33).prop_map(hex::encode_like),
+        params_strategy(),
+    )
+        .prop_map(
+            |((scenario_id, part), part_seed, fingerprint, params)| WorkItem {
+                scenario_id,
+                part,
+                part_seed,
+                fingerprint,
+                params,
+            },
+        )
+}
+
+/// Minimal hex rendering for fingerprint-shaped strings.
+mod hex {
+    pub fn encode_like(bytes: Vec<u8>) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn work_items_roundtrip_the_line_protocol(item in work_item_strategy()) {
+        let line = serde_json::to_string(&item).unwrap();
+        prop_assert!(!line.contains('\n'), "one item per line: {line}");
+        let parsed: WorkItem = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(parsed, item);
+    }
+
+    #[test]
+    fn part_results_roundtrip_the_line_protocol(
+        item in work_item_strategy(),
+        reports in prop::collection::vec(report_strategy(), 0..4),
+        failed in any::<bool>(),
+        error in ident_strategy(),
+    ) {
+        let result = if failed {
+            PartResult::failed(&item, error)
+        } else {
+            PartResult::ok(&item, reports)
+        };
+        let line = serde_json::to_string(&result).unwrap();
+        prop_assert!(!line.contains('\n'), "one result per line: {line}");
+        let parsed: PartResult = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(&parsed, &result);
+        // Identity echo survives framing: results can always be matched
+        // back to the item that produced them.
+        prop_assert_eq!(&parsed.scenario_id, &item.scenario_id);
+        prop_assert_eq!(parsed.part, item.part);
+        prop_assert_eq!(&parsed.fingerprint, &item.fingerprint);
+    }
+}
