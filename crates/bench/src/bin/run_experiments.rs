@@ -28,7 +28,7 @@ use onionbots_bench::Scale;
 use onionbots_bench::{scenarios, worker};
 use sim::experiment::{CsvDirSink, JsonDirSink, ReportSink, TableSink};
 use sim::scenario_api::{parse_override, ScenarioParams};
-use sim::{Backend, ResultCache, Runner, WorkerCommand};
+use sim::{Backend, ResultCache, Runner, ThreadsPerItem, WorkerCommand};
 
 struct Options {
     list: bool,
@@ -43,6 +43,7 @@ struct Options {
     no_cache: bool,
     refresh: bool,
     backend: BackendChoice,
+    threads_per_item: ThreadsPerItem,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,10 @@ Options:
   --scale quick|full  population scale (default: quick; env ONIONBOTS_FULL=1)
   --jobs N            workers: threads (local) or subprocesses (process)
                       (default: 1)
+  --threads-per-item T
+                      intra-item thread budget for graph sweeps: auto
+                      (split cores across in-flight items, the default)
+                      or a fixed thread count; never changes output bytes
   --backend B         execution backend: local (in-process threads,
                       default) or process (run_experiments worker
                       subprocesses speaking ndjson over stdin/stdout)
@@ -95,6 +100,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         no_cache: false,
         refresh: false,
         backend: BackendChoice::Local,
+        threads_per_item: ThreadsPerItem::Auto,
     };
     let mut i = 0;
     while i < args.len() {
@@ -134,6 +140,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.jobs = value
                     .parse()
                     .map_err(|_| format!("invalid --jobs value '{value}'"))?;
+            }
+            "--threads-per-item" => {
+                let value = value_for("--threads-per-item")?;
+                options.threads_per_item = match value.as_str() {
+                    "auto" => ThreadsPerItem::Auto,
+                    raw => raw
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .map(ThreadsPerItem::Fixed)
+                        .ok_or_else(|| {
+                            format!("invalid --threads-per-item value '{raw}' (auto or N >= 1)")
+                        })?,
+                };
             }
             "--seed" => {
                 let value = value_for("--seed")?;
@@ -242,7 +262,7 @@ fn main() -> ExitCode {
         params.overrides.insert(key, value);
     }
     eprintln!(
-        "running {} scenario(s) at {:?} scale with {} job(s), seed {}, {} backend",
+        "running {} scenario(s) at {:?} scale with {} job(s), seed {}, {} backend, {} thread(s)/item",
         selected.len(),
         options.scale,
         options.jobs,
@@ -250,6 +270,11 @@ fn main() -> ExitCode {
         match options.backend {
             BackendChoice::Local => "local",
             BackendChoice::Process => "process",
+        },
+        match options.threads_per_item {
+            ThreadsPerItem::Auto => "auto".to_string(),
+            ThreadsPerItem::Fixed(n) => n.to_string(),
+            ThreadsPerItem::Sequential => "1".to_string(),
         }
     );
     let cache_dir = match (&options.no_cache, &options.cache_dir) {
@@ -274,7 +299,10 @@ fn main() -> ExitCode {
             Backend::Process(WorkerCommand::new(exe).arg("worker"))
         }
     };
-    let mut runner = Runner::new(params).jobs(options.jobs).backend(backend);
+    let mut runner = Runner::new(params)
+        .jobs(options.jobs)
+        .backend(backend)
+        .threads_per_item(options.threads_per_item);
     let mut cache_active = false;
     if let Some(dir) = cache_dir {
         // An unusable cache location degrades to an uncached run: caching

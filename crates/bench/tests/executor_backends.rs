@@ -15,7 +15,7 @@ use std::sync::Arc;
 use onionbots_bench::scenarios;
 use onionbots_bench::worker::CRASH_AFTER_ENV;
 use sim::scenario_api::ScenarioParams;
-use sim::{Backend, ResultCache, Runner, Scenario, WorkerCommand};
+use sim::{Backend, ResultCache, Runner, Scenario, ThreadsPerItem, WorkerCommand};
 
 fn worker_command() -> WorkerCommand {
     WorkerCommand::new(env!("CARGO_BIN_EXE_run_experiments")).arg("worker")
@@ -70,6 +70,49 @@ fn process_backend_is_byte_identical_to_local_at_jobs_1_4_8() {
             "process backend, jobs={jobs}"
         );
     }
+}
+
+#[test]
+fn threads_per_item_is_byte_invariant_across_backends_and_budgets() {
+    // The ISSUE's target parameterization: the scale scenario pinned to
+    // one 2000-node part (waves shortened for debug-profile runtime).
+    // Intra-item parallelism is a pure throughput knob: any thread budget
+    // on any backend must produce the reference bytes — on the process
+    // backend this also exercises the ONIONBOTS_THREADS_PER_ITEM env
+    // passthrough to worker subprocesses.
+    let scale_only = || {
+        scenarios::registry()
+            .select(&["scale".to_string()])
+            .unwrap()
+    };
+    let params = ScenarioParams::with_seed(2015)
+        .with_override("n", "2000")
+        .with_override("waves", "3");
+    let reference = Runner::new(params.clone()).run(&scale_only());
+    for threads in [1usize, 4] {
+        for process in [false, true] {
+            let mut runner = Runner::new(params.clone())
+                .jobs(2)
+                .threads_per_item(ThreadsPerItem::Fixed(threads));
+            if process {
+                runner = runner.backend(Backend::Process(worker_command()));
+            }
+            let summary = runner.run(&scale_only());
+            assert_eq!(
+                summary.to_json(),
+                reference.to_json(),
+                "threads-per-item={threads}, backend={}",
+                if process { "process" } else { "local" }
+            );
+        }
+    }
+    // Auto resolves against this machine's core count; whatever it picks
+    // must also be byte-identical.
+    let auto = Runner::new(params)
+        .jobs(2)
+        .threads_per_item(ThreadsPerItem::Auto)
+        .run(&scale_only());
+    assert_eq!(auto.to_json(), reference.to_json(), "threads-per-item=auto");
 }
 
 #[test]

@@ -10,9 +10,11 @@
 //! presumed soaped; the host discards them and bootstraps replacements using
 //! peers of its still-healthy virtual nodes.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use onion_graph::graph::{Graph, NodeId};
+use onion_graph::metrics::BfsScratch;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -70,6 +72,13 @@ pub struct SuperOnion {
     graph: Graph,
     owner: BTreeMap<NodeId, HostId>,
     virtuals: BTreeMap<HostId, Vec<NodeId>>,
+    /// Reusable BFS state shared by every [`probe`](SuperOnion::probe):
+    /// one probe per host per round used to allocate a fresh
+    /// `DistanceMap` (an `O(id_bound)` distance array plus queue) each
+    /// call; the scratch amortizes that to one allocation for the
+    /// overlay's lifetime. `RefCell` because probing is logically `&self`
+    /// (it only reads the graph).
+    scratch: RefCell<BfsScratch>,
 }
 
 impl SuperOnion {
@@ -92,6 +101,7 @@ impl SuperOnion {
             graph,
             owner,
             virtuals,
+            scratch: RefCell::new(BfsScratch::new()),
         };
         let all: Vec<NodeId> = overlay.graph.nodes();
         for &v in &all {
@@ -186,15 +196,24 @@ impl SuperOnion {
                 messages: 0,
             };
         };
-        let report = onionbots_core::routing::flood_broadcast(&self.graph, source);
-        // flood_broadcast reports counts; recompute the reachable set via
-        // BFS distances for membership checks (flat-array lookups, no
-        // hashing).
-        let reached = onion_graph::metrics::bfs_distances(&self.graph, source);
+        // One reusable-scratch BFS yields both answers a probe needs:
+        // membership (which siblings the gossip reached) and the message
+        // count. In a flood every informed node forwards to all of its
+        // peers exactly once, so total messages equal the degree sum over
+        // the reached set — the same value `flood_broadcast` counts, for
+        // one traversal and zero steady-state allocation instead of two
+        // traversals and a fresh `DistanceMap` per probe.
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.run(&self.graph, source);
+        let messages: usize = scratch
+            .reached()
+            .iter()
+            .map(|&v| self.graph.degree(v).unwrap_or(0))
+            .sum();
         let mut reachable = Vec::new();
         let mut unreachable = Vec::new();
         for &v in &virtuals {
-            if reached.contains(v) {
+            if scratch.contains(v) {
                 reachable.push(v);
             } else {
                 unreachable.push(v);
@@ -204,7 +223,7 @@ impl SuperOnion {
             host,
             reachable,
             unreachable,
-            messages: report.messages,
+            messages,
         }
     }
 
@@ -323,6 +342,32 @@ mod tests {
     fn soaping_missing_node_is_rejected() {
         let (mut so, _) = figure8(5);
         assert!(!so.soap_virtual_node(NodeId(10_000)));
+    }
+
+    #[test]
+    fn probe_message_count_equals_flood_broadcast() {
+        // The scratch-based probe counts messages as the degree sum over
+        // the reached set; that must stay equal to what an actual flood
+        // simulation reports, healthy or soaped.
+        let (mut so, _) = figure8(7);
+        for round in 0..2 {
+            for h in 0..5 {
+                let host = HostId(h);
+                let probe = so.probe(host);
+                let source = so
+                    .virtual_nodes(host)
+                    .iter()
+                    .copied()
+                    .find(|&v| so.graph().degree(v).unwrap_or(0) > 0)
+                    .or_else(|| so.virtual_nodes(host).first().copied())
+                    .unwrap();
+                let flood = onionbots_core::routing::flood_broadcast(so.graph(), source);
+                assert_eq!(probe.messages, flood.messages, "host {h} round {round}");
+            }
+            // Second round probes a soaped overlay.
+            let victim = so.virtual_nodes(HostId(0))[0];
+            so.soap_virtual_node(victim);
+        }
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Thread budgeting for intra-graph parallelism.
+//!
+//! The parallel BFS kernel ([`crate::metrics::parallel_bfs_from_sources`])
+//! can fan sources across threads, but the metrics entry points
+//! (`sampled_diameter`, `diameter`, ...) are called from inside experiment
+//! *parts* that an executor is already fanning across workers. Letting
+//! every BFS sweep grab all cores would oversubscribe the machine as soon
+//! as two parts run concurrently, so parallelism inside one part is
+//! governed by an explicit **thread budget**:
+//!
+//! * the executor scopes a per-item budget around each work item with
+//!   [`with_thread_budget`] (a thread-local, so concurrent items on
+//!   different worker threads cannot see each other's budgets);
+//! * standalone processes (or worker subprocesses, as a default) inherit
+//!   a process-wide budget from the [`THREADS_ENV`] environment variable;
+//! * with neither set, the budget is 1 and every metric runs exactly the
+//!   sequential path.
+//!
+//! The budget only bounds *resource use*; results never depend on it —
+//! the kernel writes each source's result into its slot by source index,
+//! so any budget produces byte-identical output.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Environment variable holding the process-wide default thread budget
+/// (`ONIONBOTS_THREADS_PER_ITEM`). Read once, on first use; values that
+/// are absent, unparseable or zero mean a budget of 1. The process
+/// executor sets it on worker subprocesses so they inherit the parent's
+/// per-item split even outside an explicitly scoped work item.
+pub const THREADS_ENV: &str = "ONIONBOTS_THREADS_PER_ITEM";
+
+thread_local! {
+    /// The scoped per-thread budget; `None` falls back to the env default.
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parses one raw env value into a budget (`None` when it does not name a
+/// usable thread count).
+fn parse_env(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn env_default() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .as_deref()
+            .and_then(parse_env)
+            .unwrap_or(1)
+    })
+}
+
+/// The thread budget governing intra-graph parallelism on the calling
+/// thread: the innermost [`with_thread_budget`] scope if one is active,
+/// else the [`THREADS_ENV`] process default, else 1.
+pub fn thread_budget() -> usize {
+    BUDGET.with(Cell::get).unwrap_or_else(env_default)
+}
+
+/// Runs `f` with the calling thread's budget set to `threads` (clamped to
+/// at least 1), restoring the previous budget afterwards — also on panic,
+/// via a drop guard, so a panicking work item cannot leak its budget into
+/// the next item executed on the same worker thread.
+pub fn with_thread_budget<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET.with(|b| b.replace(Some(threads.max(1)))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The budget the current environment implies outside any scope —
+    /// tests assert against this instead of a literal 1, so the suite
+    /// passes even when the developer has exported [`THREADS_ENV`].
+    fn ambient() -> usize {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .as_deref()
+            .and_then(parse_env)
+            .unwrap_or(1)
+    }
+
+    #[test]
+    fn unscoped_budget_matches_the_environment() {
+        assert_eq!(thread_budget(), ambient());
+    }
+
+    #[test]
+    fn scoped_budgets_nest_and_restore() {
+        let observed = with_thread_budget(4, || {
+            let outer = thread_budget();
+            let inner = with_thread_budget(2, thread_budget);
+            (outer, thread_budget(), inner)
+        });
+        assert_eq!(observed, (4, 4, 2));
+        assert_eq!(
+            thread_budget(),
+            ambient(),
+            "scope exit restores the ambient default"
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_clamped_to_one() {
+        assert_eq!(with_thread_budget(0, thread_budget), 1);
+    }
+
+    #[test]
+    fn budget_scope_survives_a_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_thread_budget(usize::MAX, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(thread_budget(), ambient(), "drop guard restored the budget");
+    }
+
+    #[test]
+    fn budgets_are_per_thread() {
+        with_thread_budget(6, || {
+            let other = std::thread::spawn(thread_budget).join().unwrap();
+            assert_eq!(other, ambient(), "a fresh thread sees the process default");
+            assert_eq!(thread_budget(), 6);
+        });
+    }
+
+    #[test]
+    fn env_values_parse_conservatively() {
+        assert_eq!(parse_env("4"), Some(4));
+        assert_eq!(parse_env(" 16 "), Some(16));
+        assert_eq!(parse_env("0"), None, "zero threads is not a budget");
+        assert_eq!(parse_env("auto"), None, "auto is resolved by the CLI");
+        assert_eq!(parse_env(""), None);
+        assert_eq!(parse_env("-2"), None);
+    }
+}

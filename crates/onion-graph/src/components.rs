@@ -4,8 +4,19 @@
 //! versus a normal graph as nodes are deleted, and Figure 6 measures how many
 //! simultaneous deletions are needed before the graph partitions (~40% for
 //! 10-regular graphs). These helpers provide the underlying measurements.
+//!
+//! Every sweep is generic over [`Adjacency`], so it runs identically on the
+//! mutable slab [`Graph`] and on a frozen [`CsrSnapshot`] — measurement
+//! phases that already hold a snapshot (see [`crate::metrics::path_metrics`])
+//! reuse it instead of re-walking the slab. The counting helpers
+//! ([`component_count`], [`largest_component_size`],
+//! [`largest_component_fraction`]) deliberately do **not** materialize the
+//! component vectors: a per-wave robustness sample over a million-node
+//! overlay needs one number, not a million sorted node ids.
 
+use crate::csr::CsrSnapshot;
 use crate::graph::{Graph, NodeId};
+use crate::metrics::Adjacency;
 
 /// Returns the connected components as sorted lists of node ids (largest
 /// component first, ties broken by smallest node id).
@@ -14,9 +25,20 @@ use crate::graph::{Graph, NodeId};
 /// tracks visitation and each component vector doubles as its own BFS
 /// queue, so the whole pass is `O(n + m)` with no hashing.
 pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
-    let mut visited = vec![false; graph.id_bound()];
+    connected_components_impl(graph)
+}
+
+/// [`connected_components`] over a frozen [`CsrSnapshot`] — identical
+/// output (the snapshot preserves slot and neighbor order), one dense
+/// read-only traversal.
+pub fn connected_components_csr(csr: &CsrSnapshot) -> Vec<Vec<NodeId>> {
+    connected_components_impl(csr)
+}
+
+fn connected_components_impl<A: Adjacency + ?Sized>(adj: &A) -> Vec<Vec<NodeId>> {
+    let mut visited = vec![false; adj.id_bound()];
     let mut components = Vec::new();
-    for node in graph.nodes() {
+    for node in adj.live_nodes() {
         if visited[node.0] {
             continue;
         }
@@ -26,12 +48,10 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
         while head < component.len() {
             let u = component[head];
             head += 1;
-            if let Some(neighbors) = graph.neighbors(u) {
-                for &v in neighbors {
-                    if !visited[v.0] {
-                        visited[v.0] = true;
-                        component.push(v);
-                    }
+            for &v in adj.neighbors_of(u) {
+                if !visited[v.0] {
+                    visited[v.0] = true;
+                    component.push(v);
                 }
             }
         }
@@ -46,16 +66,63 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
     components
 }
 
-/// Number of connected components (`0` for an empty graph).
-pub fn component_count(graph: &Graph) -> usize {
-    connected_components(graph).len()
+/// One counting sweep: `(component count, largest component size, a seed
+/// node of the largest component)` without materializing any component
+/// vector — the queue is reused across components and nothing is sorted.
+/// Returns `None` for an empty graph.
+///
+/// Seeds are visited in ascending id order and the maximum is updated
+/// strictly, so the reported largest component ties exactly like
+/// [`connected_components`] orders them: by size, then by smallest
+/// member id. A BFS from the seed re-derives the largest component's
+/// membership in `O(largest)` when a caller needs it (see
+/// `metrics::path_metrics`).
+pub(crate) fn component_seed_scan<A: Adjacency + ?Sized>(
+    adj: &A,
+) -> Option<(usize, usize, NodeId)> {
+    let mut visited = vec![false; adj.id_bound()];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut count = 0usize;
+    let mut largest = 0usize;
+    let mut largest_seed = None;
+    for node in adj.live_nodes() {
+        if visited[node.0] {
+            continue;
+        }
+        count += 1;
+        visited[node.0] = true;
+        queue.clear();
+        queue.push(node);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in adj.neighbors_of(u) {
+                if !visited[v.0] {
+                    visited[v.0] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        if queue.len() > largest {
+            largest = queue.len();
+            largest_seed = Some(node);
+        }
+    }
+    largest_seed.map(|seed| (count, largest, seed))
+}
+
+/// Number of connected components (`0` for an empty graph). Generic over
+/// [`Adjacency`]: pass a [`CsrSnapshot`] to count over an existing freeze
+/// instead of re-walking the slab.
+pub fn component_count<A: Adjacency + ?Sized>(adj: &A) -> usize {
+    component_seed_scan(adj).map_or(0, |(count, _, _)| count)
 }
 
 /// Size of the largest connected component (`0` for an empty graph).
-pub fn largest_component_size(graph: &Graph) -> usize {
-    connected_components(graph)
-        .first()
-        .map_or(0, std::vec::Vec::len)
+/// Generic over [`Adjacency`], like [`component_count`].
+pub fn largest_component_size<A: Adjacency + ?Sized>(adj: &A) -> usize {
+    component_seed_scan(adj).map_or(0, |(_, largest, _)| largest)
 }
 
 /// Returns `true` if the graph has at most one connected component.
@@ -155,5 +222,53 @@ mod tests {
         assert!(is_connected(&g));
         g.remove_node(ids[3]);
         assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn csr_components_match_slab_components_with_tombstones() {
+        let (mut g, ids) = Graph::with_nodes(10);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (8, 9)] {
+            g.add_edge(ids[a], ids[b]);
+        }
+        g.remove_node(ids[6]);
+        g.remove_node(ids[9]);
+        let csr = CsrSnapshot::build(&g);
+        assert_eq!(connected_components_csr(&csr), connected_components(&g));
+        let (count, largest) = (component_count(&g), largest_component_size(&g));
+        let via_vectors = connected_components(&g);
+        assert_eq!(count, via_vectors.len());
+        assert_eq!(largest, via_vectors.first().map_or(0, Vec::len));
+    }
+
+    #[test]
+    fn seed_scan_tie_breaks_like_materialized_components() {
+        // Two equal-size components: the seed scan must report the seed
+        // of the one connected_components orders first (smallest member
+        // id), because diameter() derives its component from that seed.
+        let (mut g, ids) = Graph::with_nodes(6);
+        for (a, b) in [(0, 2), (2, 4), (1, 3), (3, 5)] {
+            g.add_edge(ids[a], ids[b]);
+        }
+        let (count, largest, seed) = component_seed_scan(&g).unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(largest, 3);
+        assert_eq!(seed, ids[0]);
+        assert_eq!(connected_components(&g)[0][0], seed);
+        assert_eq!(component_seed_scan(&Graph::new()), None);
+    }
+
+    #[test]
+    fn counting_scan_matches_materialized_components() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut g, ids) = random_regular(60, 3, &mut rng);
+        for &victim in ids.iter().take(25) {
+            g.remove_node(victim);
+        }
+        let comps = connected_components(&g);
+        assert_eq!(component_count(&g), comps.len());
+        assert_eq!(
+            largest_component_size(&g),
+            comps.first().map_or(0, Vec::len)
+        );
     }
 }

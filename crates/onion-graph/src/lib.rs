@@ -4,7 +4,11 @@
 //! [`graph::Graph`] structure the overlay simulations mutate, the k-regular
 //! [`generators`] the paper's evaluation starts from, the centrality and
 //! diameter [`metrics`] it reports, and the connected-component analysis
-//! ([`components`]) behind the partitioning experiments.
+//! ([`components`]) behind the partitioning experiments. Measurement-phase
+//! traversals freeze the slab into a read-only [`csr::CsrSnapshot`] and fan
+//! BFS sources across the deterministic multi-source kernel
+//! ([`metrics::parallel_bfs_from_sources`]) under the [`budget`]-governed
+//! thread budget.
 //!
 //! ```
 //! use onion_graph::generators::random_regular;
@@ -20,11 +24,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod components;
+pub mod csr;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
 
+pub use csr::CsrSnapshot;
 pub use graph::{Graph, NodeId};
 
 #[cfg(test)]
@@ -32,12 +39,36 @@ mod property_tests {
     //! Property-based tests of the core graph invariants.
 
     use crate::components::{component_count, largest_component_size};
+    use crate::csr::CsrSnapshot;
     use crate::generators::random_regular;
     use crate::graph::Graph;
-    use crate::metrics::{average_degree_centrality, bfs_distances, diameter};
+    use crate::metrics::{
+        average_degree_centrality, bfs_distances, diameter, parallel_bfs_from_sources, BfsStats,
+    };
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Applies a random churn trace (node adds, edge adds/removes, node
+    /// removals — i.e. tombstones) to a small seed graph.
+    fn churned_graph(ops: &[(usize, usize, u8)]) -> Graph {
+        let (mut g, mut ids) = Graph::with_nodes(8);
+        for &(a, b, op) in ops {
+            match op {
+                0 => ids.push(g.add_node()),
+                1 | 2 => {
+                    g.add_edge(ids[a % ids.len()], ids[b % ids.len()]);
+                }
+                3 => {
+                    g.remove_edge(ids[a % ids.len()], ids[b % ids.len()]);
+                }
+                _ => {
+                    g.remove_node(ids[a % ids.len()]);
+                }
+            }
+        }
+        g
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -120,6 +151,55 @@ mod property_tests {
                     let list = g.neighbors(n).unwrap();
                     prop_assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
                 }
+            }
+        }
+
+        /// A `CsrSnapshot` round-trips the slab graph under random churn:
+        /// live nodes, neighbor slices (order included) and the
+        /// tombstone/isolated distinction all survive the freeze.
+        #[test]
+        fn csr_snapshot_roundtrips_the_slab_under_churn(ops in prop::collection::vec((0usize..32, 0usize..32, 0u8..5), 1..250)) {
+            let g = churned_graph(&ops);
+            let csr = CsrSnapshot::build(&g);
+            prop_assert_eq!(csr.id_bound(), g.id_bound());
+            prop_assert_eq!(csr.node_count(), g.node_count());
+            prop_assert_eq!(csr.edge_count(), g.edge_count());
+            prop_assert_eq!(csr.live_nodes(), g.nodes());
+            for i in 0..g.id_bound() {
+                let node = crate::graph::NodeId(i);
+                prop_assert_eq!(csr.contains(node), g.contains(node));
+                match g.neighbors(node) {
+                    Some(neighbors) => prop_assert_eq!(csr.neighbors(node), neighbors),
+                    None => prop_assert_eq!(csr.neighbors(node), &[] as &[crate::graph::NodeId]),
+                }
+            }
+        }
+
+        /// The multi-source kernel is byte-identical to sequential
+        /// per-source `bfs_distances` at every thread count, on churned
+        /// graphs whose id space contains tombstones.
+        #[test]
+        fn parallel_kernel_equals_sequential_bfs_at_any_thread_count(ops in prop::collection::vec((0usize..32, 0usize..32, 0u8..5), 1..120)) {
+            let g = churned_graph(&ops);
+            // Sweep every id ever allocated: live sources and tombstoned
+            // sources must both behave identically at any thread count.
+            let sources: Vec<crate::graph::NodeId> =
+                (0..g.id_bound()).map(crate::graph::NodeId).collect();
+            let csr = CsrSnapshot::build(&g);
+            let reference: Vec<BfsStats> = sources
+                .iter()
+                .map(|&s| {
+                    let map = bfs_distances(&g, s);
+                    BfsStats {
+                        eccentricity: map.max().unwrap_or(0),
+                        total_distance: map.total() as u64,
+                        reached: map.reached_count(),
+                    }
+                })
+                .collect();
+            for threads in [1usize, 2, 8] {
+                let kernel = parallel_bfs_from_sources(&csr, &sources, threads);
+                prop_assert_eq!(&kernel, &reference, "threads={}", threads);
             }
         }
 

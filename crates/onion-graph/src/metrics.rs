@@ -18,17 +18,71 @@
 //! index-addressed slab, see [`Graph::id_bound`]): distances live in a
 //! `Vec<u32>` with a sentinel for "unreached" and the BFS queue doubles as
 //! the visit-order record. No hash maps or hash sets are involved, so the
-//! traversal order is deterministic by construction and a BFS over a
-//! million-node overlay touches memory sequentially instead of chasing
-//! buckets.
+//! traversal order is deterministic by construction.
+//!
+//! The BFS-sweep metrics ([`sampled_diameter`], [`diameter`],
+//! [`average_path_length`], [`path_metrics`]) additionally freeze the slab
+//! into a [`CsrSnapshot`] and fan their sources across the
+//! [`parallel_bfs_from_sources`] kernel. Source selection stays sequential
+//! and up front (the RNG stream is untouched by the rewrite) and every
+//! source's result lands in its slot by source index, so the output is
+//! byte-identical to the sequential path at any thread budget — see
+//! [`crate::budget`] for how many threads a sweep may use.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::budget::thread_budget;
+use crate::csr::CsrSnapshot;
 use crate::graph::{Graph, NodeId};
 
 /// Sentinel distance for nodes a BFS did not reach.
 const UNREACHED: u32 = u32::MAX;
+
+/// Read-only adjacency shared by the slab [`Graph`] and its frozen
+/// [`CsrSnapshot`], so every traversal (BFS scratch, parallel kernel,
+/// component sweeps) is written once and produces the identical visit
+/// order over either representation.
+pub trait Adjacency {
+    /// One past the largest node id, for sizing flat per-node arrays.
+    fn id_bound(&self) -> usize;
+    /// Whether `node` is live.
+    fn contains(&self, node: NodeId) -> bool;
+    /// The neighbors of `node`, sorted ascending; empty for dead nodes.
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId];
+    /// The live node ids in ascending order.
+    fn live_nodes(&self) -> Vec<NodeId>;
+}
+
+impl Adjacency for Graph {
+    fn id_bound(&self) -> usize {
+        Graph::id_bound(self)
+    }
+    fn contains(&self, node: NodeId) -> bool {
+        Graph::contains(self, node)
+    }
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors(node).unwrap_or(&[])
+    }
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+    }
+}
+
+impl Adjacency for CsrSnapshot {
+    fn id_bound(&self) -> usize {
+        CsrSnapshot::id_bound(self)
+    }
+    fn contains(&self, node: NodeId) -> bool {
+        CsrSnapshot::contains(self, node)
+    }
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors(node)
+    }
+    fn live_nodes(&self) -> Vec<NodeId> {
+        CsrSnapshot::live_nodes(self)
+    }
+}
 
 /// Distances from one BFS source, stored as a flat array indexed by node id.
 ///
@@ -124,42 +178,156 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> DistanceMap {
     map
 }
 
-/// BFS eccentricity of `source` using caller-provided scratch buffers, so
-/// all-pairs sweeps ([`diameter`], [`average_path_length`]) do not
-/// reallocate per source. `dist` must be sized `graph.id_bound()` and
-/// filled with `u32::MAX`; it is restored to that state before returning.
-/// Returns `(eccentricity, sum_of_distances, reached_count)`.
-fn bfs_into(
-    graph: &Graph,
-    source: NodeId,
-    dist: &mut [u32],
-    queue: &mut Vec<NodeId>,
-) -> (usize, usize, usize) {
-    queue.clear();
-    dist[source.0] = 0;
-    queue.push(source);
-    let mut head = 0usize;
-    let mut total = 0usize;
-    while head < queue.len() {
-        let u = queue[head];
-        head += 1;
-        let d = dist[u.0] + 1;
-        if let Some(neighbors) = graph.neighbors(u) {
-            for &v in neighbors {
-                if dist[v.0] == UNREACHED {
-                    dist[v.0] = d;
-                    total += d as usize;
-                    queue.push(v);
+/// The aggregate result of one BFS: the source's eccentricity within its
+/// component, the sum of distances to every reached node, and the reached
+/// count (including the source). All zero for a missing source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BfsStats {
+    /// Greatest distance to any reached node.
+    pub eccentricity: usize,
+    /// Sum of distances over reached nodes (the source contributes 0).
+    pub total_distance: u64,
+    /// Number of reached nodes, including the source.
+    pub reached: usize,
+}
+
+/// Reusable BFS state: one distance array plus one queue, reset lazily so
+/// a sweep over many sources allocates `O(id_bound)` once instead of per
+/// source.
+///
+/// After [`run`](BfsScratch::run) returns, the distances of the *last*
+/// BFS stay readable ([`get`](BfsScratch::get),
+/// [`contains`](BfsScratch::contains), [`reached`](BfsScratch::reached))
+/// until the next `run`, which un-marks exactly the previously touched
+/// entries — the reset is `O(reached)`, not `O(id_bound)`.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    queue: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    /// Runs one BFS from `source` over `adj`, returning its aggregate
+    /// stats. A dead or out-of-range source yields all-zero stats and an
+    /// empty reached set.
+    pub fn run<A: Adjacency + ?Sized>(&mut self, adj: &A, source: NodeId) -> BfsStats {
+        // Lazy reset: un-mark what the previous run touched, then grow the
+        // distance array if the graph gained ids since.
+        for &n in &self.queue {
+            self.dist[n.0] = UNREACHED;
+        }
+        self.queue.clear();
+        if self.dist.len() < adj.id_bound() {
+            self.dist.resize(adj.id_bound(), UNREACHED);
+        }
+        if !adj.contains(source) {
+            return BfsStats::default();
+        }
+        self.dist[source.0] = 0;
+        self.queue.push(source);
+        let mut head = 0usize;
+        let mut total = 0u64;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let d = self.dist[u.0] + 1;
+            for &v in adj.neighbors_of(u) {
+                if self.dist[v.0] == UNREACHED {
+                    self.dist[v.0] = d;
+                    total += u64::from(d);
+                    self.queue.push(v);
                 }
             }
         }
+        BfsStats {
+            eccentricity: self.queue.last().map_or(0, |&n| self.dist[n.0] as usize),
+            total_distance: total,
+            reached: self.queue.len(),
+        }
     }
-    let ecc = queue.last().map_or(0, |&n| dist[n.0] as usize);
-    let reached = queue.len();
-    for &n in queue.iter() {
-        dist[n.0] = UNREACHED;
+
+    /// The distance from the last run's source to `node`, if reached.
+    pub fn get(&self, node: NodeId) -> Option<usize> {
+        match self.dist.get(node.0).copied() {
+            None | Some(UNREACHED) => None,
+            Some(d) => Some(d as usize),
+        }
     }
-    (ecc, total, reached)
+
+    /// Whether the last run reached `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.get(node).is_some()
+    }
+
+    /// The nodes the last run reached, in BFS discovery order.
+    pub fn reached(&self) -> &[NodeId] {
+        &self.queue
+    }
+}
+
+/// Deterministic multi-source BFS kernel: runs one BFS per source over a
+/// shared read-only adjacency, fanning sources across at most `threads`
+/// scoped worker threads (clamped to the source count; `<= 1` runs inline
+/// with no thread machinery).
+///
+/// Each worker owns one reusable [`BfsScratch`] and claims sources from a
+/// shared atomic cursor; every result is written into the output slot of
+/// its *source index*, so the returned vector is **byte-identical to the
+/// sequential path regardless of thread count or scheduling**. Callers
+/// that sample sources with an RNG must draw them before calling (as
+/// [`sampled_diameter`] does), keeping RNG streams independent of the
+/// thread budget.
+pub fn parallel_bfs_from_sources<A: Adjacency + Sync + ?Sized>(
+    adj: &A,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<BfsStats> {
+    /// Hard ceiling on kernel workers: budgets are caller-supplied (CLI
+    /// flag, environment variable), and an absurd value must degrade to
+    /// "merely pointless", not to a failed `std::thread` spawn aborting
+    /// the scope. 64 is far above any useful BFS fan-out while keeping
+    /// over-provisioned determinism tests (threads > cores) meaningful.
+    const MAX_KERNEL_THREADS: usize = 64;
+    let threads = threads.clamp(1, MAX_KERNEL_THREADS).min(sources.len());
+    if threads <= 1 {
+        let mut scratch = BfsScratch::new();
+        return sources.iter().map(|&s| scratch.run(adj, s)).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, BfsStats)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = BfsScratch::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&source) = sources.get(i) else {
+                            break;
+                        };
+                        local.push((i, scratch.run(adj, source)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("BFS worker panicked"))
+            .collect()
+    });
+    // Scatter by source index: the cursor hands each index to exactly one
+    // worker, so every slot is written exactly once.
+    let mut out = vec![BfsStats::default(); sources.len()];
+    for (i, stats) in per_worker.into_iter().flatten() {
+        out[i] = stats;
+    }
+    out
 }
 
 /// Closeness centrality of a single node, normalized by `n - 1` over the
@@ -184,29 +352,64 @@ pub fn closeness_centrality(graph: &Graph, node: NodeId) -> f64 {
     (reachable as f64 / (n - 1) as f64) * (reachable as f64 / total as f64)
 }
 
-/// Average closeness centrality over all nodes (exact, all-pairs BFS).
+/// The closeness formula applied to one source's aggregate BFS stats:
+/// identical arithmetic to [`closeness_centrality`], shared by the
+/// kernel-backed average variants.
+fn closeness_from_stats(stats: &BfsStats, n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let reachable = stats.reached.saturating_sub(1); // excluding the source
+    if reachable == 0 {
+        return 0.0;
+    }
+    (reachable as f64 / (n - 1) as f64) * (reachable as f64 / stats.total_distance as f64)
+}
+
+/// Average closeness centrality over all nodes (exact, all-pairs BFS over
+/// a frozen snapshot, sources fanned across the thread budget).
 pub fn average_closeness_centrality(graph: &Graph) -> f64 {
     let nodes = graph.nodes();
     if nodes.is_empty() {
         return 0.0;
     }
-    let sum: f64 = nodes.iter().map(|&u| closeness_centrality(graph, u)).sum();
+    let csr = CsrSnapshot::build(graph);
+    let stats = parallel_bfs_from_sources(&csr, &nodes, thread_budget());
+    let n = graph.node_count();
+    let sum: f64 = stats.iter().map(|s| closeness_from_stats(s, n)).sum();
     sum / nodes.len() as f64
 }
 
-/// Average closeness centrality estimated from `samples` random BFS sources.
+/// Average closeness centrality estimated from `samples` random BFS
+/// sources (drawn sequentially up front, swept by the kernel — the RNG
+/// stream and the resulting sum are byte-identical to the sequential
+/// per-source path).
 pub fn sampled_average_closeness_centrality<R: Rng + ?Sized>(
     graph: &Graph,
     samples: usize,
     rng: &mut R,
 ) -> f64 {
-    let mut nodes = graph.nodes();
+    sampled_average_closeness_centrality_csr(&CsrSnapshot::build(graph), samples, rng)
+}
+
+/// [`sampled_average_closeness_centrality`] over a caller-provided
+/// snapshot, so several sampled metrics on one unchanged graph (e.g. a
+/// takedown sample measuring closeness *and* diameter) share a single
+/// freeze instead of each paying the `O(n + m)` build.
+pub fn sampled_average_closeness_centrality_csr<R: Rng + ?Sized>(
+    csr: &CsrSnapshot,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut nodes = csr.live_nodes();
     if nodes.is_empty() {
         return 0.0;
     }
     nodes.shuffle(rng);
     nodes.truncate(samples.max(1).min(nodes.len()));
-    let sum: f64 = nodes.iter().map(|&u| closeness_centrality(graph, u)).sum();
+    let stats = parallel_bfs_from_sources(csr, &nodes, thread_budget());
+    let n = csr.node_count();
+    let sum: f64 = stats.iter().map(|s| closeness_from_stats(s, n)).sum();
     sum / nodes.len() as f64
 }
 
@@ -235,13 +438,13 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
     if !graph.contains(node) {
         return None;
     }
-    let mut dist = vec![UNREACHED; graph.id_bound()];
-    let mut queue = Vec::new();
-    let (ecc, _, _) = bfs_into(graph, node, &mut dist, &mut queue);
-    Some(ecc)
+    let mut scratch = BfsScratch::new();
+    Some(scratch.run(graph, node).eccentricity)
 }
 
-/// Exact diameter of the largest connected component (all-pairs BFS).
+/// Exact diameter of the largest connected component (all-pairs BFS over
+/// a frozen [`CsrSnapshot`], sources fanned across the thread budget) —
+/// a thin wrapper over the [`path_metrics`] sweep.
 ///
 /// Returns `None` for an empty graph. When the graph is partitioned the
 /// diameter of the *largest* component (by node count, ties broken by
@@ -250,16 +453,16 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> Option<usize> {
 /// infinite". A long thin minority component therefore cannot inflate the
 /// reported value.
 pub fn diameter(graph: &Graph) -> Option<usize> {
-    let components = crate::components::connected_components(graph);
-    let largest = components.first()?;
-    let mut dist = vec![UNREACHED; graph.id_bound()];
-    let mut queue = Vec::with_capacity(largest.len());
-    let mut best = 0usize;
-    for &u in largest {
-        let (ecc, _, _) = bfs_into(graph, u, &mut dist, &mut queue);
-        best = best.max(ecc);
-    }
-    Some(best)
+    let csr = CsrSnapshot::build(graph);
+    let (_, _, seed) = crate::components::component_seed_scan(&csr)?;
+    // Re-derive the largest component's members with one O(largest) BFS,
+    // then sweep only them — a partitioned graph never pays for sources
+    // outside the component whose diameter is being reported.
+    let mut scratch = BfsScratch::new();
+    scratch.run(&csr, seed);
+    let sources = scratch.reached().to_vec();
+    let stats = parallel_bfs_from_sources(&csr, &sources, thread_budget());
+    Some(stats.iter().map(|s| s.eccentricity).max().unwrap_or(0))
 }
 
 /// Diameter lower bound estimated from `samples` random BFS sources.
@@ -267,45 +470,114 @@ pub fn diameter(graph: &Graph) -> Option<usize> {
 /// Sources are drawn from the whole graph, so on a partitioned graph this
 /// estimates the largest eccentricity over all components — use
 /// [`diameter`] when the largest-component semantics matter exactly.
+///
+/// The sources are drawn sequentially up front (the RNG stream is
+/// identical to the pre-parallel implementation), then swept over a CSR
+/// snapshot by the multi-source kernel under the current thread budget.
 pub fn sampled_diameter<R: Rng + ?Sized>(
     graph: &Graph,
     samples: usize,
     rng: &mut R,
 ) -> Option<usize> {
-    let mut nodes = graph.nodes();
+    sampled_diameter_csr(&CsrSnapshot::build(graph), samples, rng)
+}
+
+/// [`sampled_diameter`] over a caller-provided snapshot — the
+/// freeze-sharing sibling of
+/// [`sampled_average_closeness_centrality_csr`].
+pub fn sampled_diameter_csr<R: Rng + ?Sized>(
+    csr: &CsrSnapshot,
+    samples: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    let mut nodes = csr.live_nodes();
     if nodes.is_empty() {
         return None;
     }
     nodes.shuffle(rng);
     nodes.truncate(samples.max(1).min(nodes.len()));
-    let mut dist = vec![UNREACHED; graph.id_bound()];
-    let mut queue = Vec::new();
-    let mut best = 0usize;
-    for &u in &nodes {
-        let (ecc, _, _) = bfs_into(graph, u, &mut dist, &mut queue);
-        best = best.max(ecc);
-    }
-    Some(best)
+    let stats = parallel_bfs_from_sources(csr, &nodes, thread_budget());
+    Some(stats.iter().map(|s| s.eccentricity).max().unwrap_or(0))
 }
 
-/// Average shortest path length within connected pairs (exact).
+/// Average shortest path length within connected pairs (exact): an
+/// all-sources sweep over a frozen snapshot under the thread budget.
 /// Returns `None` when there are no connected pairs.
 pub fn average_path_length(graph: &Graph) -> Option<f64> {
-    let nodes = graph.nodes();
-    let mut dist = vec![UNREACHED; graph.id_bound()];
-    let mut queue = Vec::with_capacity(nodes.len());
-    let mut total = 0usize;
-    let mut pairs = 0usize;
-    for &u in &nodes {
-        let (_, sum, reached) = bfs_into(graph, u, &mut dist, &mut queue);
-        total += sum;
-        pairs += reached - 1; // every reached node except u itself
+    let csr = CsrSnapshot::build(graph);
+    let nodes = csr.live_nodes();
+    let stats = parallel_bfs_from_sources(&csr, &nodes, thread_budget());
+    average_from_stats(&stats)
+}
+
+fn average_from_stats(stats: &[BfsStats]) -> Option<f64> {
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for s in stats {
+        total += s.total_distance;
+        pairs += s.reached.saturating_sub(1) as u64; // reached minus the source
     }
     if pairs == 0 {
         None
     } else {
         Some(total as f64 / pairs as f64)
     }
+}
+
+/// The distance metrics one all-sources BFS sweep yields.
+///
+/// Computed by [`path_metrics`] from a single component pass plus a
+/// single multi-source sweep over one CSR snapshot — callers needing both
+/// the diameter and the average path length (previously two independent
+/// component scans and two sweeps) get them for one traversal's cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathMetrics {
+    /// Diameter of the largest connected component (see [`diameter`]).
+    pub diameter: usize,
+    /// Average shortest path length over connected pairs; `None` when no
+    /// pair is connected (see [`average_path_length`]).
+    pub average_path_length: Option<f64>,
+    /// Number of connected components.
+    pub component_count: usize,
+    /// Size of the largest connected component.
+    pub largest_component_size: usize,
+}
+
+/// Computes [`PathMetrics`] — diameter, average path length and component
+/// shape — from one shared component pass and one all-sources BFS sweep
+/// over a single frozen snapshot. Returns `None` for an empty graph.
+///
+/// Equals calling [`diameter`], [`average_path_length`] and the
+/// `components` counting helpers separately, for roughly half the
+/// traversal cost (one snapshot, one component pass, one sweep — the
+/// `parallel_metrics` bench records ~1.8× vs the separate calls); call
+/// it when more than one of its fields is needed. Forward-looking API:
+/// no registered scenario consumes it yet (their reports are pinned to
+/// the individual entry points), so today it is exercised by tests and
+/// benches only.
+pub fn path_metrics(graph: &Graph) -> Option<PathMetrics> {
+    let csr = CsrSnapshot::build(graph);
+    let (component_count, largest_component_size, seed) =
+        crate::components::component_seed_scan(&csr)?;
+    // Largest-component membership from one O(largest) BFS; the scratch's
+    // marks serve as the membership set directly.
+    let mut membership = BfsScratch::new();
+    membership.run(&csr, seed);
+    let nodes = csr.live_nodes();
+    let stats = parallel_bfs_from_sources(&csr, &nodes, thread_budget());
+    let diameter = nodes
+        .iter()
+        .zip(&stats)
+        .filter(|(&n, _)| membership.contains(n))
+        .map(|(_, s)| s.eccentricity)
+        .max()
+        .unwrap_or(0);
+    Some(PathMetrics {
+        diameter,
+        average_path_length: average_from_stats(&stats),
+        component_count,
+        largest_component_size,
+    })
 }
 
 #[cfg(test)]
@@ -369,6 +641,74 @@ mod tests {
         let dist = bfs_distances(&g, ids[0]);
         assert_eq!(dist.get(NodeId(999)), None);
         assert!(!dist.contains(NodeId(999)));
+    }
+
+    #[test]
+    fn scratch_runs_match_bfs_distances_and_reset_lazily() {
+        let (g, ids) = path_graph(5);
+        let mut scratch = BfsScratch::new();
+        for &source in &ids {
+            let stats = scratch.run(&g, source);
+            let reference = bfs_distances(&g, source);
+            assert_eq!(stats.eccentricity, reference.max().unwrap());
+            assert_eq!(stats.total_distance, reference.total() as u64);
+            assert_eq!(stats.reached, reference.reached_count());
+            assert_eq!(scratch.reached(), reference.reached());
+            for &n in &ids {
+                assert_eq!(scratch.get(n), reference.get(n));
+                assert_eq!(scratch.contains(n), reference.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_handles_missing_sources_and_growing_graphs() {
+        let (mut g, ids) = path_graph(2);
+        let mut scratch = BfsScratch::new();
+        assert_eq!(scratch.run(&g, ids[0]).reached, 2);
+        g.remove_node(ids[1]);
+        let dead = scratch.run(&g, ids[1]);
+        assert_eq!(dead, BfsStats::default());
+        assert!(scratch.reached().is_empty());
+        assert!(!scratch.contains(ids[0]), "previous run was un-marked");
+        // The graph grows after the scratch was sized: the scratch must
+        // grow with it.
+        let fresh = g.add_node();
+        g.add_edge(ids[0], fresh);
+        let stats = scratch.run(&g, fresh);
+        assert_eq!(stats.reached, 2);
+        assert_eq!(scratch.get(ids[0]), Some(1));
+    }
+
+    #[test]
+    fn parallel_kernel_is_identical_to_sequential_at_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, ids) = random_regular(120, 4, &mut rng);
+        let csr = CsrSnapshot::build(&g);
+        let sequential = parallel_bfs_from_sources(&csr, &ids, 1);
+        assert_eq!(sequential.len(), ids.len());
+        for threads in [2, 3, 8, 64] {
+            let parallel = parallel_bfs_from_sources(&csr, &ids, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // And the sequential kernel equals per-source bfs_distances.
+        for (source, stats) in ids.iter().zip(&sequential) {
+            let reference = bfs_distances(&g, *source);
+            assert_eq!(stats.reached, reference.reached_count());
+            assert_eq!(stats.eccentricity, reference.max().unwrap());
+            assert_eq!(stats.total_distance, reference.total() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_handles_empty_sources_and_dead_sources() {
+        let (mut g, ids) = path_graph(3);
+        g.remove_node(ids[1]);
+        let csr = CsrSnapshot::build(&g);
+        assert!(parallel_bfs_from_sources(&csr, &[], 8).is_empty());
+        let stats = parallel_bfs_from_sources(&csr, &[ids[0], ids[1]], 8);
+        assert_eq!(stats[0].reached, 1, "ids[0] is isolated after removal");
+        assert_eq!(stats[1], BfsStats::default(), "dead source yields zeros");
     }
 
     #[test]
@@ -477,6 +817,67 @@ mod tests {
         let apl = average_path_length(&g).unwrap();
         assert!((apl - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(average_path_length(&Graph::new()), None);
+    }
+
+    #[test]
+    fn sweep_metrics_are_budget_invariant() {
+        // The same sweep under different thread budgets must agree to the
+        // bit — this is the determinism contract the cache relies on.
+        let mut rng = StdRng::seed_from_u64(12);
+        let (g, _) = random_regular(200, 6, &mut rng);
+        let reference = (
+            diameter(&g),
+            average_path_length(&g),
+            path_metrics(&g),
+            sampled_diameter(&g, 20, &mut StdRng::seed_from_u64(4)),
+        );
+        for budget in [2, 8] {
+            let under_budget = crate::budget::with_thread_budget(budget, || {
+                (
+                    diameter(&g),
+                    average_path_length(&g),
+                    path_metrics(&g),
+                    sampled_diameter(&g, 20, &mut StdRng::seed_from_u64(4)),
+                )
+            });
+            assert_eq!(under_budget, reference, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn path_metrics_agree_with_individual_metrics() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, _) = random_regular(80, 4, &mut rng);
+        let combined = path_metrics(&g).unwrap();
+        assert_eq!(Some(combined.diameter), diameter(&g));
+        assert_eq!(combined.average_path_length, average_path_length(&g));
+        assert_eq!(
+            combined.component_count,
+            crate::components::component_count(&g)
+        );
+        assert_eq!(
+            combined.largest_component_size,
+            crate::components::largest_component_size(&g)
+        );
+        assert_eq!(path_metrics(&Graph::new()), None);
+    }
+
+    #[test]
+    fn path_metrics_on_partitioned_graph_restrict_diameter_correctly() {
+        // Same shape as the diameter regression test: 5-node star (the
+        // largest component, diameter 2) + 4-node path (diameter 3).
+        let (mut g, ids) = Graph::with_nodes(9);
+        for &leaf in &ids[1..5] {
+            g.add_edge(ids[0], leaf);
+        }
+        for w in ids[5..9].windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let metrics = path_metrics(&g).unwrap();
+        assert_eq!(metrics.diameter, 2, "largest component only");
+        assert_eq!(metrics.component_count, 2);
+        assert_eq!(metrics.largest_component_size, 5);
+        assert_eq!(metrics.average_path_length, average_path_length(&g));
     }
 
     #[test]

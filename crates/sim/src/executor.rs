@@ -54,9 +54,10 @@ use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
 /// and scale verbatim but only the *scoped* overrides: the keys the
 /// scenario declares via [`Scenario::override_keys`] (all of them when
 /// the scenario declares none). Scoping makes the item's bytes match its
-/// identity — two items with equal fingerprints are bytewise equal — and
-/// keeps undeclared-key leakage from ever differing between backends.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// identity — two items with equal fingerprints are bytewise equal up to
+/// the `threads` execution hint — and keeps undeclared-key leakage from
+/// ever differing between backends.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct WorkItem {
     /// Registry id of the scenario to run.
     pub scenario_id: String,
@@ -70,6 +71,41 @@ pub struct WorkItem {
     pub fingerprint: String,
     /// Base seed, scale and scoped overrides the part runs with.
     pub params: ScenarioParams,
+    /// Intra-item thread budget **hint**: how many threads this item's
+    /// graph sweeps may use (scoped around execution via
+    /// [`onion_graph::budget`]). Execution metadata, *not* identity — it
+    /// is excluded from the fingerprint and can never change a byte of
+    /// the part's output (the BFS kernel writes results by source index,
+    /// so any thread count produces identical bytes); it only bounds
+    /// resource use. The runner assigns it by splitting the machine
+    /// across in-flight items (`Runner::threads_per_item`).
+    pub threads: usize,
+}
+
+/// Hand-written because the offline serde_derive stub has no
+/// `#[serde(default)]`: `threads` is an *optional* execution hint, so an
+/// item stream in the pre-hint wire shape — the documented ndjson
+/// protocol surface a custom/multi-host dispatcher may speak — still
+/// parses, defaulting to sequential. Every identity field stays
+/// required.
+impl serde::Deserialize for WorkItem {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("WorkItem: expected a JSON object"))?;
+        let field = |name: &str| serde::obj_get(entries, name);
+        Ok(WorkItem {
+            scenario_id: serde::Deserialize::from_value(field("scenario_id"))?,
+            part: serde::Deserialize::from_value(field("part"))?,
+            part_seed: serde::Deserialize::from_value(field("part_seed"))?,
+            fingerprint: serde::Deserialize::from_value(field("fingerprint"))?,
+            params: serde::Deserialize::from_value(field("params"))?,
+            threads: match field("threads") {
+                serde::Value::Null => 1,
+                raw => serde::Deserialize::from_value(raw)?,
+            },
+        })
+    }
 }
 
 impl WorkItem {
@@ -88,7 +124,15 @@ impl WorkItem {
             part_seed: part_seed(params.seed, scenario.id(), part),
             fingerprint: fingerprint.hex().to_string(),
             params: scoped,
+            threads: 1,
         }
+    }
+
+    /// Sets the intra-item thread budget hint (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The item's identity as a [`PartFingerprint`] (for cache lookups
@@ -142,13 +186,18 @@ impl PartResult {
     }
 }
 
-/// Executes one work item against its (already resolved) scenario: seed
-/// the part RNG from the precomputed [`WorkItem::part_seed`] and run the
-/// part. This is the one place both backends (and the worker loop) call,
-/// so local and remote execution cannot drift apart.
+/// Executes one work item against its (already resolved) scenario: scope
+/// the item's thread-budget hint, seed the part RNG from the precomputed
+/// [`WorkItem::part_seed`] and run the part. This is the one place both
+/// backends (and the worker loop) call, so local and remote execution
+/// cannot drift apart — and the one place the budget is applied, so a
+/// part's graph sweeps see the same budget whether they run on a local
+/// worker thread or inside a worker subprocess.
 pub fn run_work_item(scenario: &dyn Scenario, item: &WorkItem) -> Vec<ExperimentReport> {
-    let mut rng = StdRng::seed_from_u64(item.part_seed);
-    scenario.run_part(item.part, &item.params, &mut rng)
+    onion_graph::budget::with_thread_budget(item.threads, || {
+        let mut rng = StdRng::seed_from_u64(item.part_seed);
+        scenario.run_part(item.part, &item.params, &mut rng)
+    })
 }
 
 /// Error produced when a backend cannot complete its batch of work items.
@@ -750,6 +799,85 @@ mod tests {
         // serialized params too.
         let stripped = ScenarioParams::with_seed(9);
         assert_eq!(item, WorkItem::new(&scenario, 1, &stripped));
+    }
+
+    #[test]
+    fn run_work_item_scopes_the_thread_budget_hint() {
+        /// A scenario that (unlike any real one) leaks the ambient thread
+        /// budget into its report, to prove the hint reaches `run_part`.
+        struct BudgetProbe;
+        impl Scenario for BudgetProbe {
+            fn id(&self) -> &str {
+                "budget-probe"
+            }
+            fn title(&self) -> &str {
+                "budget probe"
+            }
+            fn run_part(
+                &self,
+                part: usize,
+                _params: &ScenarioParams,
+                _rng: &mut StdRng,
+            ) -> Vec<ExperimentReport> {
+                let mut r = ExperimentReport::new("budget-probe", "probe", "part", "budget");
+                r.push_series(Series::new(
+                    "budget",
+                    vec![part as f64],
+                    vec![onion_graph::budget::thread_budget() as f64],
+                ));
+                vec![r]
+            }
+        }
+
+        let params = ScenarioParams::with_seed(1);
+        let item = WorkItem::new(&BudgetProbe, 0, &params).with_threads(5);
+        assert_eq!(item.threads, 5);
+        // Capture the ambient budget (env-dependent) rather than assuming
+        // 1, so the test is immune to an exported THREADS_ENV.
+        let ambient = onion_graph::budget::thread_budget();
+        let reports = run_work_item(&BudgetProbe, &item);
+        assert_eq!(reports[0].series[0].y, vec![5.0], "hint visible in-part");
+        assert_eq!(
+            onion_graph::budget::thread_budget(),
+            ambient,
+            "budget restored after the item"
+        );
+        // The default hint keeps parts sequential; with_threads clamps.
+        assert_eq!(WorkItem::new(&BudgetProbe, 0, &params).threads, 1);
+        assert_eq!(
+            WorkItem::new(&BudgetProbe, 0, &params)
+                .with_threads(0)
+                .threads,
+            1
+        );
+    }
+
+    #[test]
+    fn work_items_without_a_threads_field_parse_with_the_default() {
+        // Wire-compat: a dispatcher emitting the pre-hint item shape (no
+        // `threads` key) must still be understood; the hint defaults to
+        // sequential instead of failing the protocol.
+        let params = ScenarioParams::with_seed(3).with_override("offset", "1.5");
+        let scenario = Toy {
+            id: "t1",
+            parts: 1,
+            keys: Some(vec!["offset"]),
+        };
+        let item = WorkItem::new(&scenario, 0, &params);
+        let legacy_line = format!(
+            "{{\"scenario_id\":\"{}\",\"part\":{},\"part_seed\":{},\"fingerprint\":\"{}\",\"params\":{}}}",
+            item.scenario_id,
+            item.part,
+            item.part_seed,
+            item.fingerprint,
+            serde_json::to_string(&item.params).unwrap()
+        );
+        let parsed: WorkItem = serde_json::from_str(&legacy_line).unwrap();
+        assert_eq!(parsed, item, "defaulted threads hint equals a fresh item's");
+        assert_eq!(parsed.threads, 1);
+        // Identity fields stay required: dropping one is still an error.
+        let truncated = legacy_line.replace("\"part\":0,", "");
+        assert!(serde_json::from_str::<WorkItem>(&truncated).is_err());
     }
 
     #[test]

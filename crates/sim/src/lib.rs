@@ -64,7 +64,7 @@ pub use executor::{
     Executor, ExecutorError, LocalExecutor, PartResult, ProcessExecutor, WorkItem, WorkerCommand,
 };
 pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
-pub use runner::{Backend, RunSummary, Runner, ScenarioOutcome};
+pub use runner::{Backend, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem};
 pub use scenario::{gradual_takedown, partition_threshold, TakedownMode, TakedownParams};
 pub use scenario_api::{
     merge_reports, parse_override, part_seed, Scenario, ScenarioParams, ScenarioRegistry,

@@ -94,6 +94,46 @@ impl std::fmt::Debug for Backend {
     }
 }
 
+/// How many threads each in-flight work item may use for its intra-item
+/// graph sweeps (the [`WorkItem::threads`] hint).
+///
+/// The budget composes with `--jobs` instead of multiplying against it:
+/// [`Auto`](ThreadsPerItem::Auto) divides the machine's cores by the
+/// number of concurrently executing items, so `jobs × threads-per-item ≈
+/// cores` and two layers of parallelism never oversubscribe the host.
+/// The hint can never change output bytes — the BFS kernel is
+/// deterministic at any thread count — so any setting is safe; it is
+/// purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadsPerItem {
+    /// Keep intra-item work sequential (the pinned legacy behavior and
+    /// the library default).
+    #[default]
+    Sequential,
+    /// Split the machine evenly: `max(1, cores / min(jobs, pending
+    /// items))` threads per item.
+    Auto,
+    /// A fixed number of threads per item (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl ThreadsPerItem {
+    /// Resolves the policy to a concrete per-item thread count for a
+    /// batch of `pending` items executed by up to `jobs` workers.
+    pub fn resolve(self, jobs: usize, pending: usize) -> usize {
+        match self {
+            ThreadsPerItem::Sequential => 1,
+            ThreadsPerItem::Fixed(threads) => threads.max(1),
+            ThreadsPerItem::Auto => {
+                let cores =
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+                let in_flight = jobs.max(1).min(pending.max(1));
+                (cores / in_flight).max(1)
+            }
+        }
+    }
+}
+
 /// Executes a selected set of scenarios, optionally in parallel,
 /// optionally backed by a [`ResultCache`], on a pluggable [`Backend`].
 #[derive(Debug, Clone)]
@@ -103,6 +143,7 @@ pub struct Runner {
     cache: Option<ResultCache>,
     refresh: bool,
     backend: Backend,
+    threads_per_item: ThreadsPerItem,
 }
 
 impl Runner {
@@ -114,6 +155,7 @@ impl Runner {
             cache: None,
             refresh: false,
             backend: Backend::Local,
+            threads_per_item: ThreadsPerItem::default(),
         }
     }
 
@@ -141,6 +183,18 @@ impl Runner {
     /// Selects the execution backend (default: [`Backend::Local`]).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the intra-item thread budget policy (default:
+    /// [`ThreadsPerItem::Sequential`], the pinned legacy behavior). The
+    /// resolved count is stamped onto every dispatched [`WorkItem`] and —
+    /// on the process backend — exported to workers via the
+    /// [`onion_graph::budget::THREADS_ENV`] environment variable, so
+    /// subprocesses inherit the same split. Output bytes are identical
+    /// for any setting.
+    pub fn threads_per_item(mut self, threads: ThreadsPerItem) -> Self {
+        self.threads_per_item = threads;
         self
     }
 
@@ -335,22 +389,37 @@ impl Runner {
         ))
     }
 
-    /// Hands the pending items to the configured backend.
+    /// Hands the pending items to the configured backend, stamping the
+    /// resolved per-item thread budget onto every item first (and, for
+    /// worker subprocesses, into their environment).
     fn dispatch(
         &self,
         scenarios: &[Arc<dyn Scenario>],
-        pending: Vec<WorkItem>,
+        mut pending: Vec<WorkItem>,
     ) -> Result<Vec<PartResult>, ExecutorError> {
         if pending.is_empty() {
             return Ok(Vec::new());
+        }
+        let threads = self.threads_per_item.resolve(self.jobs, pending.len());
+        for item in &mut pending {
+            item.threads = threads;
         }
         match &self.backend {
             Backend::Local => LocalExecutor::new(scenarios.to_vec())
                 .jobs(self.jobs)
                 .execute(pending),
-            Backend::Process(command) => ProcessExecutor::new(command.clone())
-                .jobs(self.jobs)
-                .execute(pending),
+            Backend::Process(command) => {
+                // Belt and braces: the hint travels inside each work item
+                // (run_work_item scopes it), and the environment carries
+                // the same split as the worker-process default for any
+                // graph work outside an item's scope.
+                let command = command
+                    .clone()
+                    .env(onion_graph::budget::THREADS_ENV, threads.to_string());
+                ProcessExecutor::new(command)
+                    .jobs(self.jobs)
+                    .execute(pending)
+            }
             Backend::Custom(executor) => executor.execute(pending),
         }
     }
@@ -485,6 +554,89 @@ mod tests {
             .run(&scenarios());
         assert_eq!(custom.to_json(), reference.to_json());
         assert_eq!(*recording.seen.lock().unwrap(), 7, "4 + 2 + 1 parts");
+    }
+
+    #[test]
+    fn threads_per_item_stamps_dispatched_items_and_never_changes_output() {
+        use crate::executor::run_work_item;
+
+        /// Runs items in-process while recording the thread hints it saw.
+        struct RecordingThreads {
+            scenarios: Vec<Arc<dyn Scenario>>,
+            hints: std::sync::Mutex<Vec<usize>>,
+        }
+
+        impl Executor for RecordingThreads {
+            fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+                let mut hints = self.hints.lock().unwrap();
+                Ok(items
+                    .into_iter()
+                    .map(|item| {
+                        hints.push(item.threads);
+                        let scenario = self
+                            .scenarios
+                            .iter()
+                            .find(|s| s.id() == item.scenario_id)
+                            .expect("known scenario");
+                        PartResult::ok(&item, run_work_item(&**scenario, &item))
+                    })
+                    .collect())
+            }
+        }
+
+        let params = ScenarioParams::with_seed(42);
+        let reference = Runner::new(params.clone()).run(&scenarios());
+        for policy in [
+            ThreadsPerItem::Sequential,
+            ThreadsPerItem::Fixed(3),
+            ThreadsPerItem::Auto,
+        ] {
+            let recording = Arc::new(RecordingThreads {
+                scenarios: scenarios(),
+                hints: std::sync::Mutex::new(Vec::new()),
+            });
+            let summary = Runner::new(params.clone())
+                .jobs(2)
+                .threads_per_item(policy)
+                .backend(Backend::Custom(recording.clone()))
+                .run(&scenarios());
+            assert_eq!(
+                summary.to_json(),
+                reference.to_json(),
+                "{policy:?}: the hint must never change output bytes"
+            );
+            let hints = recording.hints.lock().unwrap();
+            let expected = policy.resolve(2, hints.len());
+            assert_eq!(hints.len(), 7, "4 + 2 + 1 parts");
+            assert!(
+                hints.iter().all(|&h| h == expected),
+                "{policy:?}: hints {hints:?} != resolved {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_per_item_resolution_is_bounded_and_sane() {
+        assert_eq!(ThreadsPerItem::Sequential.resolve(8, 100), 1);
+        assert_eq!(ThreadsPerItem::Fixed(4).resolve(8, 100), 4);
+        assert_eq!(ThreadsPerItem::Fixed(0).resolve(1, 1), 1, "clamped");
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(
+            ThreadsPerItem::Auto.resolve(1, 1),
+            cores,
+            "one in-flight item gets it all"
+        );
+        assert_eq!(
+            ThreadsPerItem::Auto.resolve(cores * 4, 1000),
+            1,
+            "oversubscribed jobs leave one thread per item"
+        );
+        assert_eq!(
+            ThreadsPerItem::Auto.resolve(0, 0),
+            cores,
+            "degenerate inputs are clamped, not panics"
+        );
+        assert_eq!(ThreadsPerItem::default(), ThreadsPerItem::Sequential);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //!   threshold around 40% for 10-regular graphs.
 
 use onion_graph::components::component_count;
+use onion_graph::csr::CsrSnapshot;
 use onion_graph::graph::NodeId;
 use onion_graph::metrics::{
-    average_degree_centrality, sampled_average_closeness_centrality, sampled_diameter,
+    average_degree_centrality, sampled_average_closeness_centrality_csr, sampled_diameter_csr,
 };
 use onionbots_core::overlay::DdsrOverlay;
 use rand::seq::SliceRandom;
@@ -93,13 +94,17 @@ fn sample<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> TakedownSample {
     let graph = overlay.graph();
+    // One frozen snapshot serves the component scan and both sampled
+    // sweeps — the graph does not change between them, so freezing it
+    // more than once would be pure overhead.
+    let csr = CsrSnapshot::build(graph);
     TakedownSample {
         nodes_deleted,
         nodes_remaining: graph.node_count(),
-        connected_components: component_count(graph),
+        connected_components: component_count(&csr),
         degree_centrality: average_degree_centrality(graph),
-        closeness_centrality: sampled_average_closeness_centrality(graph, metric_samples, rng),
-        diameter: sampled_diameter(graph, metric_samples, rng),
+        closeness_centrality: sampled_average_closeness_centrality_csr(&csr, metric_samples, rng),
+        diameter: sampled_diameter_csr(&csr, metric_samples, rng),
     }
 }
 

@@ -68,14 +68,16 @@ fn work_item_strategy() -> impl Strategy<Value = WorkItem> {
         any::<u64>(),
         prop::collection::vec(any::<u8>(), 32..33).prop_map(hex::encode_like),
         params_strategy(),
+        1usize..64,
     )
         .prop_map(
-            |((scenario_id, part), part_seed, fingerprint, params)| WorkItem {
+            |((scenario_id, part), part_seed, fingerprint, params, threads)| WorkItem {
                 scenario_id,
                 part,
                 part_seed,
                 fingerprint,
                 params,
+                threads,
             },
         )
 }

@@ -146,7 +146,9 @@ macro_rules! tuple_strategy {
 tuple_strategy!(
     (A: 0, B: 1),
     (A: 0, B: 1, C: 2),
-    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 );
 
 #[cfg(test)]
