@@ -4,6 +4,9 @@
 //! run_experiments --list
 //! run_experiments --only fig4,fig7 --scale full --jobs 8 --out results/
 //! run_experiments --only fig6 --cache-dir .exp-cache --set steps=5
+//! run_experiments serve --socket /tmp/onionbots.sock --cache-dir .exp-cache
+//! run_experiments submit --socket /tmp/onionbots.sock --only fig6
+//! run_experiments status --socket /tmp/onionbots.sock
 //! ```
 //!
 //! Selected scenarios (default: all) run through the [`sim::Runner`] on
@@ -15,23 +18,60 @@
 //! previously computed parts replay from the content-addressed
 //! [`sim::ResultCache`] without changing a byte of the output.
 //!
+//! The `serve` / `submit` / `status` subcommands front the always-on
+//! simulation service ([`sim::service`]): `serve` keeps the registry,
+//! cache and backend resident and speaks newline-delimited JSON to
+//! concurrent clients over Unix-domain and/or TCP loopback sockets;
+//! `submit` streams one job's per-part progress and renders the final
+//! summary byte-identically to a one-shot run; `status` inspects the
+//! daemon's job table or asks it to drain. SIGTERM/ctrl-c drain the
+//! daemon gracefully: submissions are refused, in-flight parts finish
+//! and flush to the cache, and the process exits 0.
+//!
 //! The hidden `worker` mode (`run_experiments worker`) is the subprocess
 //! side of `--backend process`: it speaks the newline-delimited JSON
 //! work-item protocol on stdin/stdout and is not meant to be invoked by
 //! hand.
 
-use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use onionbots_bench::output::{render_summary, Format};
 use onionbots_bench::Scale;
-use onionbots_bench::{scenarios, worker};
-use sim::experiment::{CsvDirSink, JsonDirSink, ReportSink, TableSink};
+use onionbots_bench::{scenarios, service_cli, worker};
 use sim::scenario_api::{parse_override, ScenarioParams};
-use sim::{Backend, ResultCache, Runner, ThreadsPerItem, WorkerCommand};
+use sim::{Backend, ResultCache, Runner, ScenarioInfo, ThreadsPerItem, WorkerCommand};
+
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it and
+/// drains when it flips.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn handle_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag and return.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT and SIGTERM to [`handle_shutdown_signal`] so the
+/// daemon drains instead of dying mid-part. `std` exposes no signal
+/// API, so this calls libc's `signal(2)` directly — the one unsafe
+/// block in the workspace, confined to this binary (the libraries
+/// `forbid(unsafe_code)`).
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, handle_shutdown_signal);
+        signal(SIGTERM, handle_shutdown_signal);
+    }
+}
 
 struct Options {
     list: bool,
+    json: bool,
     only: Vec<String>,
     scale: Scale,
     jobs: usize,
@@ -52,18 +92,19 @@ enum BackendChoice {
     Process,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Table,
-    Csv,
-    Json,
-}
-
 const USAGE: &str = "\
 Usage: run_experiments [options]
+       run_experiments serve|submit|status [options]
+
+Subcommands (see each one's --help):
+  serve               start the persistent simulation service daemon
+  submit              send one job to a running daemon and stream results
+  status              inspect a running daemon's job table / scenarios
 
 Options:
   --list              list registered scenarios and exit
+  --json              with --list, print the listing as machine-readable
+                      JSON (ids, part counts, override keys)
   --only ID[,ID...]   run only the named scenarios (repeatable)
   --scale quick|full  population scale (default: quick; env ONIONBOTS_FULL=1)
   --jobs N            workers: threads (local) or subprocesses (process)
@@ -89,6 +130,7 @@ Options:
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         list: false,
+        json: false,
         only: Vec::new(),
         scale: Scale::from_env(),
         jobs: 1,
@@ -125,6 +167,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--list" => options.list = true,
+            "--json" => options.json = true,
             "--only" => {
                 let value = value_for("--only")?;
                 options.only.extend(
@@ -177,15 +220,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cache-dir" => options.cache_dir = Some(value_for("--cache-dir")?),
             "--no-cache" => options.no_cache = true,
             "--refresh" => options.refresh = true,
-            "--format" => {
-                let value = value_for("--format")?;
-                options.format = match value.as_str() {
-                    "table" => Format::Table,
-                    "csv" => Format::Csv,
-                    "json" => Format::Json,
-                    other => return Err(format!("unknown --format '{other}'")),
-                };
-            }
+            "--format" => options.format = Format::parse(&value_for("--format")?)?,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -197,22 +232,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
+    if options.json && !options.list {
+        return Err("--json is only valid together with --list".to_string());
+    }
     Ok(options)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Hidden worker mode: the subprocess side of --backend process. It
-    // must be dispatched before option parsing — a worker takes no other
-    // arguments and speaks only the stdin/stdout protocol.
-    if args.first().map(String::as_str) == Some("worker") {
-        return match worker::run_worker() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(error) => {
-                eprintln!("worker error: {error}");
-                ExitCode::FAILURE
-            }
-        };
+    // Subcommands are dispatched before option parsing — each has its
+    // own flag set. `worker` is the hidden subprocess side of
+    // --backend process; it takes no other arguments and speaks only
+    // the stdin/stdout protocol.
+    match args.first().map(String::as_str) {
+        Some("worker") => {
+            return match worker::run_worker() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(error) => {
+                    eprintln!("worker error: {error}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("serve") => {
+            install_shutdown_handler();
+            return service_cli::serve_main(&args[1..], &SHUTDOWN);
+        }
+        Some("submit") => return service_cli::submit_main(&args[1..]),
+        Some("status") => return service_cli::status_main(&args[1..]),
+        _ => {}
     }
     let options = match parse_options(&args) {
         Ok(options) => options,
@@ -225,6 +273,17 @@ fn main() -> ExitCode {
     let registry = scenarios::registry();
     if options.list {
         let params = ScenarioParams::default();
+        if options.json {
+            // Machine-readable listing: the same ScenarioInfo frames the
+            // service's List request returns, so scripts can parse one
+            // format for both the offline and daemon paths.
+            let infos = ScenarioInfo::collect(&registry, &params);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&infos).expect("scenario listing serializes")
+            );
+            return ExitCode::SUCCESS;
+        }
         println!("{} registered scenarios:\n", registry.len());
         for scenario in registry.iter() {
             println!(
@@ -330,56 +389,9 @@ fn main() -> ExitCode {
     };
     let elapsed = started.elapsed();
 
-    let mut sinks: Vec<Box<dyn ReportSink>> = Vec::new();
-    match options.format {
-        Format::Table => sinks.push(Box::new(TableSink::new(std::io::stdout()))),
-        Format::Csv | Format::Json => {}
-    }
-    if let Some(dir) = &options.out {
-        match (JsonDirSink::new(dir), CsvDirSink::new(dir)) {
-            (Ok(json), Ok(csv)) => {
-                sinks.push(Box::new(json));
-                sinks.push(Box::new(csv));
-            }
-            (Err(error), _) | (_, Err(error)) => {
-                eprintln!("error: cannot create output directory {dir}: {error}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
-    let mut stdout = std::io::stdout();
-    for outcome in &summary.outcomes {
-        for report in &outcome.reports {
-            match options.format {
-                Format::Csv => {
-                    let _ = writeln!(stdout, "# {}\n{}", report.id, report.to_csv());
-                }
-                Format::Json => {
-                    let _ = writeln!(stdout, "{}", report.to_json());
-                }
-                Format::Table => {}
-            }
-            for sink in &mut sinks {
-                if let Err(error) = sink.write_report(&outcome.scenario_id, report) {
-                    eprintln!("error: writing report {}: {error}", report.id);
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-    }
-    for sink in &mut sinks {
-        if let Err(error) = sink.finish() {
-            eprintln!("error: flushing output: {error}");
-            return ExitCode::FAILURE;
-        }
-    }
-    if let Some(dir) = &options.out {
-        let path = std::path::Path::new(dir).join("summary.json");
-        if let Err(error) = std::fs::write(&path, summary.to_json()) {
-            eprintln!("error: writing {}: {error}", path.display());
-            return ExitCode::FAILURE;
-        }
+    if let Err(message) = render_summary(&summary, options.format, options.out.as_deref()) {
+        eprintln!("error: {message}");
+        return ExitCode::FAILURE;
     }
     eprintln!(
         "completed {} scenario(s), {} report(s) in {:.2}s",

@@ -16,6 +16,12 @@
 //! `run_experiments worker` subprocesses (the [`worker`] module) over the
 //! newline-delimited JSON protocol in [`sim::executor`], with the same
 //! byte-identical summaries.
+//! `run_experiments serve` keeps the whole stack resident as a daemon
+//! ([`service_cli`], over [`sim::service`]): clients `submit` jobs and
+//! `status`-poll over Unix-domain or TCP loopback sockets, per-part
+//! progress streams back as NDJSON frames, and every job shares one
+//! result cache. The [`output`] module renders a `RunSummary`
+//! identically for the one-shot and daemon paths.
 //! The per-figure binaries in `src/bin/` are thin wrappers that delegate
 //! to the same registry, and the Criterion benchmarks in `benches/` cover
 //! the micro-level costs (repair, routing, metrics, descriptors, crypto,
@@ -29,7 +35,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod output;
 pub mod scenarios;
+pub mod service_cli;
 pub mod worker;
 
 use sim::scenario_api::ScenarioParams;

@@ -1,0 +1,305 @@
+//! End-to-end tests for the simulation service daemon: a real
+//! `run_experiments serve` subprocess on a Unix domain socket, driven by
+//! real client connections speaking the NDJSON job API.
+//!
+//! Covered: cold and warm submissions are byte-identical to the one-shot
+//! runner (with per-job cache stats flipping from all-misses to
+//! all-hits), two concurrent clients agree byte-for-byte, malformed
+//! frames are rejected without killing the daemon, and SIGTERM drains an
+//! in-flight job to completion — even while `ONIONBOTS_WORKER_CRASH_AFTER_ITEMS`
+//! keeps killing its workers mid-drain — before the daemon exits 0.
+
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use onionbots_bench::scenarios;
+use onionbots_bench::worker::CRASH_AFTER_ENV;
+use sim::scenario_api::ScenarioParams;
+use sim::service::{Event, Request};
+use sim::{CacheStats, JobSpec, RunSummary, Runner};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_run_experiments")
+}
+
+/// A `run_experiments serve` subprocess bound to a fresh socket in a
+/// fresh scratch directory, killed and cleaned up on drop.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+    dir: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(tag: &str, cached: bool, extra_args: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let dir =
+            std::env::temp_dir().join(format!("onionbots-service-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("service.sock");
+        let mut command = Command::new(bin());
+        command.arg("serve").arg("--socket").arg(&socket);
+        if cached {
+            command.arg("--cache-dir").arg(dir.join("cache"));
+        }
+        command
+            .args(extra_args)
+            // The ambient environment must not smuggle a cache into
+            // tests that want an uncached daemon.
+            .env_remove("ONIONBOTS_CACHE_DIR")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        for (key, value) in envs {
+            command.env(key, value);
+        }
+        let mut child = command.spawn().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !socket.exists() {
+            if let Some(status) = child.try_wait().unwrap() {
+                panic!("daemon exited before binding its socket: {status}");
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never bound {}",
+                socket.display()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon { child, socket, dir }
+    }
+
+    fn connect(&self) -> UnixStream {
+        UnixStream::connect(&self.socket).unwrap()
+    }
+
+    fn wait_for_exit(&mut self) -> i32 {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status.code().expect("daemon exited without a code");
+            }
+            assert!(Instant::now() < deadline, "daemon did not drain and exit");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn send_frame(writer: &mut impl Write, request: &Request) {
+    let frame = serde_json::to_string(request).unwrap();
+    writeln!(writer, "{frame}").unwrap();
+    writer.flush().unwrap();
+}
+
+fn read_event(reader: &mut impl BufRead) -> Event {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).unwrap();
+        assert!(read > 0, "daemon closed the connection unexpectedly");
+        if line.trim().is_empty() {
+            continue;
+        }
+        return serde_json::from_str(line.trim()).unwrap();
+    }
+}
+
+/// Submits `spec` on `stream` and drives the connection to the final
+/// frame; panics if the job errors out.
+fn submit(stream: UnixStream, spec: &JobSpec) -> (RunSummary, Option<CacheStats>, Vec<Event>) {
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    send_frame(&mut writer, &Request::Submit(spec.clone()));
+    let mut seen = Vec::new();
+    loop {
+        match read_event(&mut reader) {
+            Event::Done { summary, cache, .. } => return (summary, cache, seen),
+            Event::Error { job, message } => panic!("job {job:?} failed: {message}"),
+            other => seen.push(other),
+        }
+    }
+}
+
+/// The test job: fig6 shortened to a debug-profile-friendly sweep.
+fn fig6_spec(seed: u64) -> JobSpec {
+    let mut overrides = BTreeMap::new();
+    overrides.insert("steps".to_string(), "4".to_string());
+    JobSpec {
+        only: Some(vec!["fig6".to_string()]),
+        seed: Some(seed),
+        overrides: Some(overrides),
+        ..JobSpec::default()
+    }
+}
+
+/// What the one-shot runner produces for [`fig6_spec`] — the byte-level
+/// reference every daemon submission must reproduce.
+fn fig6_reference(seed: u64) -> RunSummary {
+    let params = ScenarioParams::with_seed(seed).with_override("steps", "4");
+    let selected = scenarios::registry().select(&["fig6".to_string()]).unwrap();
+    Runner::new(params).run(&selected)
+}
+
+#[test]
+fn cold_then_warm_submissions_match_the_one_shot_bytes() {
+    let daemon = Daemon::spawn("coldwarm", true, &[], &[]);
+    let reference = fig6_reference(2015).to_json();
+
+    let (cold, cold_stats, events) = submit(daemon.connect(), &fig6_spec(2015));
+    assert_eq!(cold.to_json(), reference, "cold submission diverged");
+    let cold_stats = cold_stats.expect("cached daemon reports stats");
+    assert_eq!(cold_stats.hits, 0, "{cold_stats:?}");
+    assert!(cold_stats.misses > 0, "{cold_stats:?}");
+    assert_eq!(cold_stats.stored, cold_stats.misses, "{cold_stats:?}");
+    // The stream saw the job get accepted and every part progress.
+    assert!(matches!(events.first(), Some(Event::Accepted { .. })));
+    assert!(
+        events.iter().any(|e| matches!(e, Event::Part { .. })),
+        "no part lifecycle frames streamed"
+    );
+
+    let (warm, warm_stats, _) = submit(daemon.connect(), &fig6_spec(2015));
+    assert_eq!(warm.to_json(), reference, "warm submission diverged");
+    let warm_stats = warm_stats.expect("cached daemon reports stats");
+    assert!(warm_stats.all_hits(), "{warm_stats:?}");
+    assert_eq!(warm_stats.hits, cold_stats.misses, "{warm_stats:?}");
+}
+
+#[test]
+fn two_concurrent_clients_share_the_cache_and_agree_byte_for_byte() {
+    let daemon = Daemon::spawn("concurrent", true, &[], &[]);
+    let reference = fig6_reference(77).to_json();
+    let spec = fig6_spec(77);
+    let (first, second) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| submit(daemon.connect(), &spec));
+        let b = scope.spawn(|| submit(daemon.connect(), &spec));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    assert_eq!(first.0.to_json(), reference, "client A diverged");
+    assert_eq!(second.0.to_json(), reference, "client B diverged");
+    // Both clients were served with stats; between them every part was
+    // either computed once or replayed, never recomputed redundantly
+    // into divergent bytes.
+    assert!(first.1.is_some() && second.1.is_some());
+}
+
+#[test]
+fn malformed_frames_are_rejected_without_killing_the_daemon() {
+    let daemon = Daemon::spawn("malformed", false, &[], &[]);
+
+    // An abrupt no-data disconnect must be shrugged off.
+    drop(daemon.connect());
+
+    let stream = daemon.connect();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // Garbage that is not JSON at all.
+    writeln!(writer, "this is not a frame").unwrap();
+    writer.flush().unwrap();
+    match read_event(&mut reader) {
+        Event::Error { job: None, message } => {
+            assert!(message.contains("malformed"), "{message}")
+        }
+        other => panic!("expected a malformed-frame error, got {other:?}"),
+    }
+    // Well-formed JSON that fails validation: an unknown scenario.
+    let bogus = JobSpec {
+        only: Some(vec!["no-such-figure".to_string()]),
+        ..JobSpec::default()
+    };
+    send_frame(&mut writer, &Request::Submit(bogus));
+    match read_event(&mut reader) {
+        Event::Error { job: None, message } => {
+            assert!(message.contains("no-such-figure"), "{message}")
+        }
+        other => panic!("expected an unknown-scenario error, got {other:?}"),
+    }
+    // The same connection still answers real requests afterwards...
+    send_frame(&mut writer, &Request::List);
+    match read_event(&mut reader) {
+        Event::Scenarios(infos) => {
+            assert!(infos.iter().any(|info| info.id == "fig6"), "{infos:?}")
+        }
+        other => panic!("expected the scenario listing, got {other:?}"),
+    }
+    // ... and no job was ever created by the rejected submissions.
+    send_frame(&mut writer, &Request::Status { job: None });
+    match read_event(&mut reader) {
+        Event::Jobs(jobs) => assert!(jobs.is_empty(), "{jobs:?}"),
+        other => panic!("expected the job table, got {other:?}"),
+    }
+}
+
+#[test]
+fn sigterm_drains_an_inflight_job_despite_crashing_workers_then_exits_zero() {
+    // Process backend with crash injection inherited by every worker:
+    // each worker dies after completing one item, so finishing the drain
+    // requires the executor to keep re-queueing and re-spawning while the
+    // daemon is shutting down.
+    let mut daemon = Daemon::spawn(
+        "drain",
+        false,
+        &["--backend", "process", "--jobs", "2"],
+        &[(CRASH_AFTER_ENV, "1")],
+    );
+    let reference = fig6_reference(7).to_json();
+
+    let stream = daemon.connect();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    send_frame(&mut writer, &Request::Submit(fig6_spec(7)));
+    // Wait until the job is in flight, then pull the trigger.
+    match read_event(&mut reader) {
+        Event::Accepted { .. } => {}
+        other => panic!("expected acceptance, got {other:?}"),
+    }
+    let killed = Command::new("kill")
+        .arg("-TERM")
+        .arg(daemon.child.id().to_string())
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    // The in-flight job must still stream to completion with the
+    // reference bytes — dying workers and all.
+    let summary = loop {
+        match read_event(&mut reader) {
+            Event::Done { summary, .. } => break summary,
+            Event::Error { job, message } => panic!("job {job:?} failed during drain: {message}"),
+            _ => {}
+        }
+    };
+    assert_eq!(summary.to_json(), reference, "drained job diverged");
+    drop(writer);
+    drop(reader);
+    // Drained daemons exit 0; anything else is a crash.
+    assert_eq!(daemon.wait_for_exit(), 0);
+    // And the socket is gone: no half-dead endpoint is left behind.
+    assert!(!daemon.socket.exists(), "socket file survived the shutdown");
+}
+
+#[test]
+fn shutdown_request_via_the_protocol_also_drains_and_exits_zero() {
+    let mut daemon = Daemon::spawn("protostop", false, &[], &[]);
+    let stream = daemon.connect();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    send_frame(&mut writer, &Request::Shutdown);
+    match read_event(&mut reader) {
+        Event::ShuttingDown => {}
+        other => panic!("expected a shutdown acknowledgement, got {other:?}"),
+    }
+    assert_eq!(daemon.wait_for_exit(), 0);
+}

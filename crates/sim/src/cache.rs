@@ -182,7 +182,11 @@ pub enum CacheLookup {
 
 /// Counters the [`Runner`](crate::runner::Runner) accumulates while
 /// consulting a [`ResultCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Serializable so the simulation service daemon can surface each job's
+/// hit/miss/invalidation counts to its clients in the final job frame
+/// (the one-shot CLI path prints them to stderr instead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Parts served from the cache without executing.
     pub hits: usize,
@@ -497,6 +501,23 @@ mod tests {
         assert!(rendered.starts_with("fig_6_weird/part0002-"));
         assert!(rendered.ends_with(".json"));
         assert_eq!(fp.hex().len(), 64, "full SHA-256 digest in the name");
+    }
+
+    #[test]
+    fn cache_stats_roundtrip_the_service_line_protocol() {
+        // The daemon ships per-job counters to clients in the final job
+        // frame; they must survive the newline-delimited JSON framing.
+        let stats = CacheStats {
+            hits: 3,
+            misses: 2,
+            invalidated: 1,
+            stored: 2,
+            store_failures: 1,
+        };
+        let line = serde_json::to_string(&stats).unwrap();
+        assert!(!line.contains('\n'), "one frame per line");
+        let parsed: CacheStats = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed, stats);
     }
 
     #[test]

@@ -223,6 +223,30 @@ impl std::fmt::Display for ExecutorError {
 
 impl std::error::Error for ExecutorError {}
 
+/// Live notifications emitted while a backend executes a batch, so a
+/// caller (the simulation service daemon, a progress UI) can stream
+/// per-item lifecycle events instead of waiting for the whole batch.
+///
+/// Events are **informational**: they are emitted from worker threads in
+/// completion order, before the `Runner`'s validation pass, and a retried
+/// item (e.g. after a worker death) emits `item_started` again without an
+/// intervening `item_finished`. The batch's returned `Vec<PartResult>`
+/// stays the single source of truth.
+pub trait ExecutionObserver: Sync {
+    /// An item is about to execute (again, if it was re-queued).
+    fn item_started(&self, item: &WorkItem) {
+        let _ = item;
+    }
+
+    /// An item's result landed (successful or carrying a per-item error).
+    fn item_finished(&self, result: &PartResult) {
+        let _ = result;
+    }
+}
+
+/// The no-op observer: `execute` is `execute_observed` with `&()`.
+impl ExecutionObserver for () {}
+
 /// A pluggable execution backend.
 ///
 /// `execute` consumes a batch of [`WorkItem`]s and returns one successful
@@ -237,6 +261,30 @@ pub trait Executor: Send + Sync {
     /// Returns an [`ExecutorError`] when any item cannot be executed
     /// (unknown scenario, worker that keeps dying, ...).
     fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError>;
+
+    /// Like [`execute`](Self::execute), additionally streaming per-item
+    /// lifecycle events to `observer` as items start and finish.
+    ///
+    /// The default implementation is the batch fallback for custom
+    /// executors that cannot observe their items mid-flight: it runs
+    /// [`execute`](Self::execute) and then reports every result as
+    /// finished. The built-in backends override it to emit events live
+    /// from their worker threads; either way the returned results are
+    /// bit-identical to an unobserved `execute` call.
+    ///
+    /// # Errors
+    /// Returns an [`ExecutorError`] exactly like [`execute`](Self::execute).
+    fn execute_observed(
+        &self,
+        items: Vec<WorkItem>,
+        observer: &dyn ExecutionObserver,
+    ) -> Result<Vec<PartResult>, ExecutorError> {
+        let results = self.execute(items)?;
+        for result in &results {
+            observer.item_finished(result);
+        }
+        Ok(results)
+    }
 }
 
 /// The in-process backend: the `std::thread` fan-out previously embedded
@@ -273,13 +321,24 @@ impl LocalExecutor {
 
 impl Executor for LocalExecutor {
     fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+        self.execute_observed(items, &())
+    }
+
+    fn execute_observed(
+        &self,
+        items: Vec<WorkItem>,
+        observer: &dyn ExecutionObserver,
+    ) -> Result<Vec<PartResult>, ExecutorError> {
         if self.jobs == 1 || items.len() <= 1 {
             return items
                 .into_iter()
                 .map(|item| {
                     let scenario = self.resolve(&item.scenario_id)?;
+                    observer.item_started(&item);
                     let reports = run_work_item(&**scenario, &item);
-                    Ok(PartResult::ok(&item, reports))
+                    let result = PartResult::ok(&item, reports);
+                    observer.item_finished(&result);
+                    Ok(result)
                 })
                 .collect();
         }
@@ -300,11 +359,11 @@ impl Executor for LocalExecutor {
                     let Some((scenario, item)) = next else {
                         break;
                     };
+                    observer.item_started(&item);
                     let reports = run_work_item(&*scenario, &item);
-                    results
-                        .lock()
-                        .expect("results lock")
-                        .push(PartResult::ok(&item, reports));
+                    let result = PartResult::ok(&item, reports);
+                    observer.item_finished(&result);
+                    results.lock().expect("results lock").push(result);
                 });
             }
         });
@@ -477,6 +536,14 @@ impl ProcessExecutor {
 
 impl Executor for ProcessExecutor {
     fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+        self.execute_observed(items, &())
+    }
+
+    fn execute_observed(
+        &self,
+        items: Vec<WorkItem>,
+        observer: &dyn ExecutionObserver,
+    ) -> Result<Vec<PartResult>, ExecutorError> {
         if items.is_empty() {
             return Ok(Vec::new());
         }
@@ -516,6 +583,7 @@ impl Executor for ProcessExecutor {
                             }
                         }
                         let active = worker.as_mut().expect("worker just ensured");
+                        observer.item_started(&item);
                         match active.round_trip(&item) {
                             Ok(result) => {
                                 if let Some(error) = &result.error {
@@ -539,6 +607,7 @@ impl Executor for ProcessExecutor {
                                     break;
                                 }
                                 active.completed += 1;
+                                observer.item_finished(&result);
                                 results.lock().expect("results lock").push(result);
                             }
                             Err(e) => {

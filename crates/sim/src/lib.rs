@@ -23,6 +23,11 @@
 //!   pool and the [`ProcessExecutor`], which streams newline-delimited
 //!   JSON work items to `run_experiments worker` subprocesses and
 //!   re-queues items when a worker dies.
+//! * [`service`] — the always-on simulation service: a persistent
+//!   daemon over the same runner pipeline, speaking an NDJSON job API
+//!   ([`service::Request`]/[`service::Event`] frames) over Unix-domain
+//!   or TCP loopback sockets, streaming per-part lifecycle events and
+//!   fronting one shared result cache for every client.
 //! * [`cache`] — the persistent, content-addressed [`ResultCache`]: stores
 //!   each part's reports under a SHA-256 fingerprint of *(scenario id,
 //!   part, seed, scale, overrides, format version)* so re-runs only
@@ -58,15 +63,24 @@ pub mod experiment;
 pub mod runner;
 pub mod scenario;
 pub mod scenario_api;
+pub mod service;
 
 pub use cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache, CACHE_FORMAT_VERSION};
 pub use executor::{
     Executor, ExecutorError, LocalExecutor, PartResult, ProcessExecutor, WorkItem, WorkerCommand,
 };
 pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
-pub use runner::{Backend, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem};
+pub use runner::{
+    Backend, PartEvent, PartState, RunObserver, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem,
+};
 pub use scenario::{gradual_takedown, partition_threshold, TakedownMode, TakedownParams};
 pub use scenario_api::{
     merge_reports, parse_override, part_seed, Scenario, ScenarioParams, ScenarioRegistry,
     UnknownScenario,
+};
+// The service's `Request`/`Event` frame types stay namespaced
+// (`sim::service::{Request, Event}`) so they cannot be confused with the
+// discrete-event `engine` types; the nouns below are unambiguous.
+pub use service::{
+    BackendSpec, JobSpec, JobState, JobStatus, ScenarioInfo, Service, ServiceConfig, ThreadsSpec,
 };

@@ -26,8 +26,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache};
 use crate::executor::{
-    index_by_id, plan_work_items, Executor, ExecutorError, LocalExecutor, PartResult,
-    ProcessExecutor, WorkItem, WorkerCommand,
+    index_by_id, plan_work_items, ExecutionObserver, Executor, ExecutorError, LocalExecutor,
+    PartResult, ProcessExecutor, WorkItem, WorkerCommand,
 };
 use crate::experiment::ExperimentReport;
 use crate::scenario_api::{merge_reports, Scenario, ScenarioParams};
@@ -67,6 +67,100 @@ impl RunSummary {
     /// Total number of reports across all outcomes.
     pub fn report_count(&self) -> usize {
         self.outcomes.iter().map(|o| o.reports.len()).sum()
+    }
+}
+
+/// Lifecycle state of one *(scenario, part)* work item as a run
+/// progresses, streamed to a [`RunObserver`].
+///
+/// The happy paths are `Queued → Started → Finished` for an executed part
+/// and a single `CacheHit` for a replayed one. `Started` may repeat
+/// without an intervening terminal state when a backend re-queues an item
+/// (e.g. after a worker death), and `Error` carries the per-item message a
+/// backend reported. Events are informational: the run's returned
+/// [`RunSummary`] (or error) stays the single source of truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartState {
+    /// The part missed the cache and was queued for execution.
+    Queued,
+    /// The part was served from the result cache without executing.
+    CacheHit,
+    /// A backend worker began executing the part.
+    Started,
+    /// The part's result landed successfully.
+    Finished,
+    /// The backend reported a per-item error for the part.
+    Error(String),
+}
+
+/// One part lifecycle transition, as reported to a [`RunObserver`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartEvent {
+    /// The scenario the part belongs to.
+    pub scenario_id: String,
+    /// The part index within the scenario.
+    pub part: usize,
+    /// The part's content address (the work-item identity).
+    pub fingerprint: String,
+    /// The state the part transitioned into.
+    pub state: PartState,
+}
+
+impl PartEvent {
+    fn for_item(item: &WorkItem, state: PartState) -> Self {
+        PartEvent {
+            scenario_id: item.scenario_id.clone(),
+            part: item.part,
+            fingerprint: item.fingerprint.clone(),
+            state,
+        }
+    }
+
+    fn for_result(result: &PartResult) -> Self {
+        PartEvent {
+            scenario_id: result.scenario_id.clone(),
+            part: result.part,
+            fingerprint: result.fingerprint.clone(),
+            state: match &result.error {
+                None => PartState::Finished,
+                Some(message) => PartState::Error(message.clone()),
+            },
+        }
+    }
+}
+
+/// Receives [`PartEvent`]s while a [`Runner`] executes — the streaming
+/// hook the simulation service daemon uses to forward per-part progress
+/// to its clients as results land.
+///
+/// Implementations must be `Sync`: events are delivered concurrently from
+/// the executing backend's worker threads. The no-op observer `&()` turns
+/// [`Runner::try_run_observed`] back into
+/// [`Runner::try_run_with_stats`].
+pub trait RunObserver: Sync {
+    /// Called once per part lifecycle transition, in completion order.
+    fn part_event(&self, event: PartEvent);
+}
+
+/// The no-op observer used by the plain one-shot entry points.
+impl RunObserver for () {
+    fn part_event(&self, _event: PartEvent) {}
+}
+
+/// Adapts a [`RunObserver`] to the executor-level observer so backends
+/// can stream `Started`/`Finished`/`Error` transitions live.
+struct ForwardToRun<'a> {
+    observer: &'a dyn RunObserver,
+}
+
+impl ExecutionObserver for ForwardToRun<'_> {
+    fn item_started(&self, item: &WorkItem) {
+        self.observer
+            .part_event(PartEvent::for_item(item, PartState::Started));
+    }
+
+    fn item_finished(&self, result: &PartResult) {
+        self.observer.part_event(PartEvent::for_result(result));
     }
 }
 
@@ -240,6 +334,27 @@ impl Runner {
         &self,
         scenarios: &[Arc<dyn Scenario>],
     ) -> Result<(RunSummary, Option<CacheStats>), ExecutorError> {
+        self.try_run_observed(scenarios, &())
+    }
+
+    /// The full plan → cache → dispatch → validate → merge pipeline with a
+    /// streaming [`RunObserver`] attached: every part reports
+    /// `Queued`/`CacheHit` during the cache pass and
+    /// `Started`/`Finished`/`Error` live from the backend as it executes.
+    /// This is the shared entry point behind both the one-shot CLI path
+    /// ([`try_run_with_stats`](Self::try_run_with_stats), which attaches
+    /// the no-op observer) and the simulation service daemon (which
+    /// forwards events to connected clients); the observer can never
+    /// change output bytes.
+    ///
+    /// # Errors
+    /// Returns the [`ExecutorError`] when the backend cannot complete the
+    /// batch, like [`try_run_with_stats`](Self::try_run_with_stats).
+    pub fn try_run_observed(
+        &self,
+        scenarios: &[Arc<dyn Scenario>],
+        observer: &dyn RunObserver,
+    ) -> Result<(RunSummary, Option<CacheStats>), ExecutorError> {
         let by_id = index_by_id(scenarios);
         let part_counts: Vec<usize> = scenarios
             .iter()
@@ -267,6 +382,8 @@ impl Runner {
                         match cache.lookup(&fp) {
                             CacheLookup::Hit(reports) => {
                                 stats.hits += 1;
+                                observer
+                                    .part_event(PartEvent::for_item(&item, PartState::CacheHit));
                                 cached.push((scenario_idx, item.part, reports));
                                 continue;
                             }
@@ -274,10 +391,16 @@ impl Runner {
                             CacheLookup::Invalid => stats.invalidated += 1,
                         }
                     }
+                    observer.part_event(PartEvent::for_item(&item, PartState::Queued));
                     pending.push(item);
                 }
             }
-            _ => pending = work.into_iter().map(|(_, item)| item).collect(),
+            _ => {
+                pending = work.into_iter().map(|(_, item)| item).collect();
+                for item in &pending {
+                    observer.part_event(PartEvent::for_item(item, PartState::Queued));
+                }
+            }
         }
 
         // The fingerprint is unique per item (distinct (scenario, part)
@@ -294,7 +417,7 @@ impl Runner {
                 )
             })
             .collect();
-        let executed = self.dispatch(scenarios, pending)?;
+        let executed = self.dispatch(scenarios, pending, observer)?;
 
         // Trust but verify: built-in backends fail fast on per-item
         // errors, but a Backend::Custom is free to return failed, foreign,
@@ -396,6 +519,7 @@ impl Runner {
         &self,
         scenarios: &[Arc<dyn Scenario>],
         mut pending: Vec<WorkItem>,
+        observer: &dyn RunObserver,
     ) -> Result<Vec<PartResult>, ExecutorError> {
         if pending.is_empty() {
             return Ok(Vec::new());
@@ -404,10 +528,11 @@ impl Runner {
         for item in &mut pending {
             item.threads = threads;
         }
+        let forward = ForwardToRun { observer };
         match &self.backend {
             Backend::Local => LocalExecutor::new(scenarios.to_vec())
                 .jobs(self.jobs)
-                .execute(pending),
+                .execute_observed(pending, &forward),
             Backend::Process(command) => {
                 // Belt and braces: the hint travels inside each work item
                 // (run_work_item scopes it), and the environment carries
@@ -418,9 +543,9 @@ impl Runner {
                     .env(onion_graph::budget::THREADS_ENV, threads.to_string());
                 ProcessExecutor::new(command)
                     .jobs(self.jobs)
-                    .execute(pending)
+                    .execute_observed(pending, &forward)
             }
-            Backend::Custom(executor) => executor.execute(pending),
+            Backend::Custom(executor) => executor.execute_observed(pending, &forward),
         }
     }
 }

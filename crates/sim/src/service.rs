@@ -1,0 +1,1254 @@
+//! The always-on simulation service: a persistent daemon front-end over
+//! the [`Runner`] pipeline.
+//!
+//! A [`Service`] loads the [`ScenarioRegistry`] once, owns the shared
+//! [`ResultCache`] and the executor backend configuration, and serves
+//! concurrent client connections over a Unix domain socket
+//! ([`Service::serve_unix`]) or TCP loopback ([`Service::serve_tcp`]).
+//! The wire protocol is newline-delimited JSON — the same framing
+//! discipline as the worker protocol in [`crate::executor`]: one
+//! [`Request`] frame per client line, one [`Event`] frame per daemon
+//! line. No HTTP stack is involved; `std::net` and
+//! `std::os::unix::net` suffice.
+//!
+//! A submitted job ([`JobSpec`]) runs through the exact pipeline the
+//! one-shot CLI uses — [`Runner::try_run_observed`] — so for a fixed
+//! seed the final [`RunSummary`] is **byte-identical** to a one-shot
+//! run, cold or fully cached, no matter how many clients are connected.
+//! While the job executes, the daemon streams per-part lifecycle frames
+//! ([`Event::Part`] wrapping [`PartEvent`]:
+//! queued/cache-hit/started/finished/error) as they land, so cached
+//! parts answer instantly while cold parts trickle in; the final
+//! [`Event::Done`] frame carries the summary plus the job's own
+//! [`CacheStats`].
+//!
+//! Job lifecycle is tracked in a small job table ([`JobStatus`] rows)
+//! that serves [`Request::Status`] from any connection. Shutdown is
+//! graceful: once draining begins (SIGTERM/ctrl-c in the CLI, or a
+//! [`Request::Shutdown`] frame), new submissions are refused with an
+//! error frame, in-flight jobs run to completion (their fresh parts are
+//! flushed to the cache by the runner as usual), idle connections are
+//! told [`Event::ShuttingDown`], and the serve loop returns once every
+//! connection has wound down.
+//!
+//! A misbehaving client cannot hurt the daemon: a malformed frame gets
+//! an [`Event::Error`] answer and the connection keeps serving, and a
+//! client that disconnects mid-job merely stops receiving events — the
+//! job still runs to completion, so the shared cache is warmed, never
+//! poisoned.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::executor::WorkerCommand;
+use crate::runner::{
+    Backend, PartEvent, RunObserver, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem,
+};
+use crate::scenario_api::{ScenarioParams, ScenarioRegistry};
+
+// The unused-import lint would otherwise flag these doc-link-only names.
+#[allow(unused_imports)]
+use crate::runner::PartState;
+#[allow(unused_imports)]
+use crate::scenario_api::Scenario;
+
+/// One machine-readable registry entry, as listed by [`Request::List`]
+/// (and by `run_experiments --list --json`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioInfo {
+    /// The scenario's registry id (the `--only` selector).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Part count under the parameters the listing was taken with.
+    pub parts: usize,
+    /// The override keys the scenario declares ([`Scenario::override_keys`]);
+    /// `None` means undeclared — every `--set` key is fingerprinted.
+    pub override_keys: Option<Vec<String>>,
+}
+
+impl ScenarioInfo {
+    /// Collects the listing for every registered scenario, in
+    /// registration order, with part counts evaluated under `params`.
+    pub fn collect(registry: &ScenarioRegistry, params: &ScenarioParams) -> Vec<ScenarioInfo> {
+        registry
+            .iter()
+            .map(|scenario| ScenarioInfo {
+                id: scenario.id().to_string(),
+                title: scenario.title().to_string(),
+                parts: scenario.parts(params).max(1),
+                override_keys: scenario
+                    .override_keys()
+                    .map(|keys| keys.iter().map(|k| (*k).to_string()).collect()),
+            })
+            .collect()
+    }
+}
+
+/// Which execution backend a job asks for, on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// In-process threads ([`Backend::Local`]).
+    Local,
+    /// Worker subprocesses ([`Backend::Process`]); requires the service
+    /// to be configured with a [`WorkerCommand`].
+    Process,
+}
+
+/// The intra-item thread budget a job asks for, on the wire (mirrors
+/// [`ThreadsPerItem`], which is not itself a protocol type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadsSpec {
+    /// Sequential intra-item sweeps.
+    Sequential,
+    /// Split the machine's cores across in-flight items.
+    Auto,
+    /// A fixed thread count per item.
+    Fixed(usize),
+}
+
+impl ThreadsSpec {
+    /// The runner policy this wire value selects.
+    pub fn to_policy(self) -> ThreadsPerItem {
+        match self {
+            ThreadsSpec::Sequential => ThreadsPerItem::Sequential,
+            ThreadsSpec::Auto => ThreadsPerItem::Auto,
+            ThreadsSpec::Fixed(threads) => ThreadsPerItem::Fixed(threads),
+        }
+    }
+}
+
+/// One job submission: scenario selector, seed, scale, overrides and
+/// execution knobs. Every field is optional on the wire — an absent (or
+/// `null`) field falls back to the daemon's configuration, and the
+/// defaults reproduce the one-shot CLI's defaults (seed 2015, quick
+/// scale, no overrides), so `{"Submit":{...all null...}}` runs the full
+/// registry exactly like a bare `run_experiments` invocation.
+///
+/// Execution knobs (`jobs`, `backend`, `threads_per_item`) can never
+/// change output bytes — the runner's determinism contract — so clients
+/// may tune them freely without perturbing results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobSpec {
+    /// Scenario ids to run; empty or absent selects the whole registry.
+    pub only: Option<Vec<String>>,
+    /// Base RNG seed (default: the [`ScenarioParams::default`] seed).
+    pub seed: Option<u64>,
+    /// Run at the paper's full population (default: quick scale).
+    pub full_scale: Option<bool>,
+    /// Scenario overrides, as `--set KEY=VALUE` pairs.
+    pub overrides: Option<BTreeMap<String, String>>,
+    /// Bypass and overwrite existing cache entries (default: false).
+    pub refresh: Option<bool>,
+    /// Worker count for this job (default: the service's configuration).
+    pub jobs: Option<usize>,
+    /// Execution backend (default: the service's configuration).
+    pub backend: Option<BackendSpec>,
+    /// Intra-item thread budget (default: the service's configuration).
+    pub threads_per_item: Option<ThreadsSpec>,
+}
+
+impl JobSpec {
+    /// A spec that runs the whole registry with every default.
+    pub fn all() -> Self {
+        JobSpec::default()
+    }
+
+    /// The scenario parameters this spec resolves to — identical to what
+    /// the one-shot CLI would build from the same seed/scale/overrides.
+    pub fn params(&self) -> ScenarioParams {
+        let mut params = ScenarioParams::default();
+        if let Some(seed) = self.seed {
+            params.seed = seed;
+        }
+        params.full_scale = self.full_scale.unwrap_or(false);
+        if let Some(overrides) = &self.overrides {
+            params.overrides = overrides.clone();
+        }
+        params
+    }
+
+    /// The scenario selector (empty = everything).
+    pub fn selector(&self) -> Vec<String> {
+        self.only.clone().unwrap_or_default()
+    }
+}
+
+/// One client → daemon frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job; the daemon answers [`Event::Accepted`], streams
+    /// [`Event::Part`] frames, and closes the job with [`Event::Done`]
+    /// or [`Event::Error`].
+    Submit(JobSpec),
+    /// Query the job table; `job: null` lists every job. Answered with
+    /// [`Event::Jobs`].
+    Status {
+        /// A specific job id, or `None` for all jobs.
+        job: Option<u64>,
+    },
+    /// List the registered scenarios. Answered with [`Event::Scenarios`].
+    List,
+    /// Ask the daemon to drain and exit: submissions are refused from
+    /// this point on, in-flight jobs finish, then the serve loop
+    /// returns. Answered with [`Event::ShuttingDown`].
+    Shutdown,
+}
+
+/// One daemon → client frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A submission was accepted and assigned a job id.
+    Accepted {
+        /// The new job's id.
+        job: u64,
+    },
+    /// One part lifecycle transition of a running job, streamed live.
+    Part {
+        /// The job the part belongs to.
+        job: u64,
+        /// The transition ([`PartState`] queued/cache-hit/started/
+        /// finished/error).
+        event: PartEvent,
+    },
+    /// A job finished successfully: the final frame of a submission.
+    Done {
+        /// The finished job's id.
+        job: u64,
+        /// The deterministic summary — byte-identical to a one-shot CLI
+        /// run with the same spec.
+        summary: RunSummary,
+        /// This job's cache counters (`None` when the daemon runs
+        /// uncached).
+        cache: Option<CacheStats>,
+    },
+    /// A request failed. `job` is set when a previously accepted job
+    /// failed mid-run, `None` when the request itself was rejected
+    /// (malformed frame, unknown scenario, draining daemon, ...).
+    Error {
+        /// The failed job, if one was accepted.
+        job: Option<u64>,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The job-table snapshot answering [`Request::Status`].
+    Jobs(Vec<JobStatus>),
+    /// The registry listing answering [`Request::List`].
+    Scenarios(Vec<ScenarioInfo>),
+    /// The daemon is draining: no further submissions are accepted and
+    /// the connection is about to close.
+    ShuttingDown,
+}
+
+/// Lifecycle state of one job in the job table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobState {
+    /// The job is executing.
+    Running,
+    /// The job finished and its summary was delivered.
+    Done,
+    /// The job failed with the contained backend error.
+    Failed(String),
+}
+
+/// One row of the daemon's job table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The job's id (assigned in submission order, starting at 1).
+    pub job: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The scenario ids the job runs, in selection order.
+    pub scenarios: Vec<String>,
+    /// Total planned parts across those scenarios.
+    pub parts_total: usize,
+    /// Parts resolved so far (cache hits plus finished executions).
+    pub parts_done: usize,
+    /// The job's cache counters once it finished (`None` while running
+    /// or when the daemon runs uncached).
+    pub cache: Option<CacheStats>,
+}
+
+/// How a [`Service`] executes the jobs it accepts.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Default worker count per job.
+    pub jobs: usize,
+    /// Default execution backend.
+    pub backend: BackendSpec,
+    /// How to launch worker subprocesses for [`BackendSpec::Process`]
+    /// jobs; `None` makes process-backend submissions fail cleanly.
+    pub worker_command: Option<WorkerCommand>,
+    /// Default intra-item thread budget.
+    pub threads_per_item: ThreadsPerItem,
+    /// The shared result cache every job resolves against; `None` runs
+    /// every job uncached.
+    pub cache: Option<ResultCache>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            jobs: 1,
+            backend: BackendSpec::Local,
+            worker_command: None,
+            threads_per_item: ThreadsPerItem::Sequential,
+            cache: None,
+        }
+    }
+}
+
+/// The persistent simulation service: registry + cache + backend loaded
+/// once, serving concurrent NDJSON clients.
+///
+/// `Service` itself is transport-agnostic — [`handle_connection`]
+/// drives any `Read`/`Write` pair — and the serve loops
+/// ([`serve_unix`], [`serve_tcp`]) layer socket accept/drain mechanics
+/// on top.
+///
+/// [`handle_connection`]: Service::handle_connection
+/// [`serve_unix`]: Service::serve_unix
+/// [`serve_tcp`]: Service::serve_tcp
+pub struct Service {
+    registry: ScenarioRegistry,
+    config: ServiceConfig,
+    table: Mutex<Vec<JobStatus>>,
+    next_job: AtomicU64,
+    draining: AtomicBool,
+    stop_requested: AtomicBool,
+}
+
+impl Service {
+    /// Creates a service over `registry` with the given execution
+    /// configuration.
+    pub fn new(registry: ScenarioRegistry, config: ServiceConfig) -> Self {
+        Service {
+            registry,
+            config,
+            table: Mutex::new(Vec::new()),
+            next_job: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop_requested: AtomicBool::new(false),
+        }
+    }
+
+    /// The registry this service executes against.
+    pub fn registry(&self) -> &ScenarioRegistry {
+        &self.registry
+    }
+
+    /// The machine-readable scenario listing (quick-scale part counts).
+    pub fn scenario_infos(&self) -> Vec<ScenarioInfo> {
+        ScenarioInfo::collect(&self.registry, &ScenarioParams::default())
+    }
+
+    /// Starts draining: submissions are refused from this point on.
+    /// In-flight jobs are unaffected — they run to completion and their
+    /// fresh results still reach the cache.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the service is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a full stop (what a [`Request::Shutdown`] frame does):
+    /// begins draining and tells the serve loop to exit.
+    pub fn request_stop(&self) {
+        self.begin_drain();
+        self.stop_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop was requested via [`request_stop`](Self::request_stop).
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the job table; `job` filters to one id.
+    pub fn jobs_snapshot(&self, job: Option<u64>) -> Vec<JobStatus> {
+        let table = self.table.lock().expect("job table lock");
+        table
+            .iter()
+            .filter(|row| job.is_none_or(|id| row.job == id))
+            .cloned()
+            .collect()
+    }
+
+    fn bump_parts_done(&self, job: u64) {
+        let mut table = self.table.lock().expect("job table lock");
+        if let Some(row) = table.iter_mut().find(|row| row.job == job) {
+            row.parts_done += 1;
+        }
+    }
+
+    fn finish_job(&self, job: u64, state: JobState, cache: Option<CacheStats>) {
+        let mut table = self.table.lock().expect("job table lock");
+        if let Some(row) = table.iter_mut().find(|row| row.job == job) {
+            row.state = state;
+            row.cache = cache;
+        }
+    }
+
+    fn resolve_backend(&self, requested: Option<BackendSpec>) -> Result<Backend, String> {
+        match requested.unwrap_or(self.config.backend) {
+            BackendSpec::Local => Ok(Backend::Local),
+            BackendSpec::Process => self
+                .config
+                .worker_command
+                .clone()
+                .map(Backend::Process)
+                .ok_or_else(|| {
+                    "this service has no worker command configured; \
+                     the process backend is unavailable"
+                        .to_string()
+                }),
+        }
+    }
+
+    /// Executes one submission synchronously on the calling (connection)
+    /// thread, streaming events into `sink`. Concurrency across clients
+    /// comes from one connection thread per client; parallelism *within*
+    /// a job comes from the runner's backend fan-out.
+    ///
+    /// A broken sink (client gone) never aborts the job: results are
+    /// computed and cached regardless, so a disconnecting client cannot
+    /// poison or cool the shared cache.
+    pub fn run_job<W: Write + Send>(&self, spec: &JobSpec, sink: &EventSink<W>) {
+        if self.is_draining() {
+            sink.send(&Event::Error {
+                job: None,
+                message: "service is shutting down; submissions are refused".to_string(),
+            });
+            return;
+        }
+        let selected = match self.registry.select(&spec.selector()) {
+            Ok(selected) => selected,
+            Err(error) => {
+                sink.send(&Event::Error {
+                    job: None,
+                    message: error.to_string(),
+                });
+                return;
+            }
+        };
+        let backend = match self.resolve_backend(spec.backend) {
+            Ok(backend) => backend,
+            Err(message) => {
+                sink.send(&Event::Error { job: None, message });
+                return;
+            }
+        };
+        let params = spec.params();
+        let parts_total: usize = selected.iter().map(|s| s.parts(&params).max(1)).sum();
+        let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut table = self.table.lock().expect("job table lock");
+            table.push(JobStatus {
+                job,
+                state: JobState::Running,
+                scenarios: selected.iter().map(|s| s.id().to_string()).collect(),
+                parts_total,
+                parts_done: 0,
+                cache: None,
+            });
+        }
+        sink.send(&Event::Accepted { job });
+
+        let mut runner = Runner::new(params)
+            .jobs(spec.jobs.unwrap_or(self.config.jobs))
+            .backend(backend)
+            .threads_per_item(
+                spec.threads_per_item
+                    .map_or(self.config.threads_per_item, ThreadsSpec::to_policy),
+            );
+        if let Some(cache) = &self.config.cache {
+            runner = runner
+                .with_cache(cache.clone())
+                .refresh(spec.refresh.unwrap_or(false));
+        }
+        let observer = JobObserver {
+            service: self,
+            job,
+            sink,
+        };
+        match runner.try_run_observed(&selected, &observer) {
+            Ok((summary, cache)) => {
+                self.finish_job(job, JobState::Done, cache);
+                sink.send(&Event::Done {
+                    job,
+                    summary,
+                    cache,
+                });
+            }
+            Err(error) => {
+                let message = error.to_string();
+                self.finish_job(job, JobState::Failed(message.clone()), None);
+                sink.send(&Event::Error {
+                    job: Some(job),
+                    message,
+                });
+            }
+        }
+    }
+
+    fn handle_request<W: Write + Send>(&self, request: Request, sink: &EventSink<W>) {
+        match request {
+            Request::Submit(spec) => self.run_job(&spec, sink),
+            Request::Status { job } => sink.send(&Event::Jobs(self.jobs_snapshot(job))),
+            Request::List => sink.send(&Event::Scenarios(self.scenario_infos())),
+            Request::Shutdown => {
+                self.request_stop();
+                sink.send(&Event::ShuttingDown);
+            }
+        }
+    }
+
+    /// Serves one client connection until EOF, a dead peer, or drain.
+    ///
+    /// Malformed frames are answered with [`Event::Error`] and the
+    /// connection keeps serving — a bad client can cost itself, never
+    /// the daemon. When the connection's transport has a read timeout
+    /// (the serve loops set one), idle periods poll the drain flag so a
+    /// silent client cannot stall shutdown.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error when the transport fails in a
+    /// way that is neither EOF nor a read timeout.
+    pub fn handle_connection<R: Read, W: Write + Send>(
+        &self,
+        input: R,
+        output: W,
+    ) -> io::Result<()> {
+        let sink = EventSink::new(output);
+        let mut frames = FrameReader::new(input);
+        loop {
+            match frames.read_frame()? {
+                Frame::Eof => return Ok(()),
+                Frame::Idle => {
+                    if self.is_draining() {
+                        sink.send(&Event::ShuttingDown);
+                        return Ok(());
+                    }
+                }
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<Request>(&line) {
+                        Ok(request) => self.handle_request(request, &sink),
+                        Err(error) => sink.send(&Event::Error {
+                            job: None,
+                            message: format!("malformed request frame: {error}"),
+                        }),
+                    }
+                }
+            }
+            if sink.is_broken() {
+                // The client is gone; nothing further can be delivered.
+                return Ok(());
+            }
+        }
+    }
+
+    /// The accept/drain loop shared by both transports: poll `accept`,
+    /// spawn one scoped thread per connection, and — once `stop` (or a
+    /// client's [`Request::Shutdown`]) fires — begin draining, stop
+    /// accepting and join every connection thread before returning.
+    fn serve_with<S, A>(&self, mut accept: A, stop: &AtomicBool) -> io::Result<()>
+    where
+        S: ServeStream,
+        A: FnMut() -> io::Result<Option<S>>,
+    {
+        std::thread::scope(|scope| -> io::Result<()> {
+            loop {
+                if stop.load(Ordering::SeqCst) || self.stop_requested() {
+                    self.begin_drain();
+                    return Ok(());
+                }
+                match accept()? {
+                    Some(stream) => {
+                        // The per-read timeout turns blocked reads into
+                        // Frame::Idle polls, so idle connections notice
+                        // the drain instead of pinning the join below.
+                        if stream.set_read_interval(Duration::from_millis(50)).is_err() {
+                            continue;
+                        }
+                        let Ok(reader) = stream.duplicate() else {
+                            continue;
+                        };
+                        scope.spawn(move || {
+                            let _ = self.handle_connection(reader, stream);
+                        });
+                    }
+                    None => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+            // Scope exit joins every connection thread: in-flight jobs
+            // finish (flushing fresh parts to the cache) before the
+            // serve loop returns — the graceful-drain barrier.
+        })
+    }
+
+    /// Serves clients on a Unix domain socket at `path` until `stop` is
+    /// set (or a client requests shutdown), then drains and removes the
+    /// socket file. A stale socket file from a previous run is replaced.
+    ///
+    /// # Errors
+    /// Returns the I/O error when the socket cannot be bound or the
+    /// accept loop fails.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &Path, stop: &AtomicBool) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let result = self.serve_with(
+            || match listener.accept() {
+                Ok((stream, _addr)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(stream))
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(error) => Err(error),
+            },
+            stop,
+        );
+        let _ = std::fs::remove_file(path);
+        result
+    }
+
+    /// Serves clients on an already bound TCP listener (loopback
+    /// recommended — the protocol is unauthenticated) until `stop` is
+    /// set or a client requests shutdown, then drains.
+    ///
+    /// # Errors
+    /// Returns the I/O error when the accept loop fails.
+    pub fn serve_tcp(&self, listener: TcpListener, stop: &AtomicBool) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        self.serve_with(
+            || match listener.accept() {
+                Ok((stream, _addr)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(stream))
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(error) => Err(error),
+            },
+            stop,
+        )
+    }
+}
+
+/// Forwards runner part events to one job's client and keeps the job
+/// table's progress counter current.
+struct JobObserver<'a, W: Write + Send> {
+    service: &'a Service,
+    job: u64,
+    sink: &'a EventSink<W>,
+}
+
+impl<W: Write + Send> RunObserver for JobObserver<'_, W> {
+    fn part_event(&self, event: PartEvent) {
+        if matches!(event.state, PartState::CacheHit | PartState::Finished) {
+            self.service.bump_parts_done(self.job);
+        }
+        self.sink.send(&Event::Part {
+            job: self.job,
+            event,
+        });
+    }
+}
+
+/// A concurrency-safe NDJSON event writer over one connection.
+///
+/// Events arrive from multiple backend worker threads (via the
+/// [`RunObserver`]), so writes are serialized through a mutex and each
+/// event is flushed as one complete line. A write failure marks the
+/// sink broken and silences all further events instead of erroring:
+/// a vanished client must never abort the job it submitted.
+pub struct EventSink<W: Write> {
+    writer: Mutex<W>,
+    broken: AtomicBool,
+}
+
+impl<W: Write> EventSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        EventSink {
+            writer: Mutex::new(writer),
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    /// Sends one event frame (a no-op once the sink is broken).
+    pub fn send(&self, event: &Event) {
+        if self.is_broken() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("events serialize");
+        let mut writer = self.writer.lock().expect("sink lock");
+        let outcome = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if outcome.is_err() {
+            self.broken.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether a previous write failed (the peer is gone).
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::SeqCst)
+    }
+}
+
+/// One read step of a [`FrameReader`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (without its terminator).
+    Line(String),
+    /// The read timed out with no complete line buffered — the caller
+    /// may poll state (e.g. the drain flag) and try again.
+    Idle,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// An incremental NDJSON line reader that survives read timeouts.
+///
+/// `BufRead::read_line` would lose buffered partial lines across a
+/// timeout; this reader keeps partial bytes between calls, so a
+/// transport with a read timeout (as the serve loops configure) yields
+/// [`Frame::Idle`] without corrupting the stream.
+pub struct FrameReader<R: Read> {
+    input: R,
+    buffer: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a reader.
+    pub fn new(input: R) -> Self {
+        FrameReader {
+            input,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Reads until one complete line, a timeout, or EOF.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error for failures that are neither
+    /// timeouts nor EOF.
+    pub fn read_frame(&mut self) -> io::Result<Frame> {
+        loop {
+            if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+                let rest = self.buffer.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buffer, rest);
+                line.pop(); // the '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.input.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buffer.is_empty() {
+                        return Ok(Frame::Eof);
+                    }
+                    // A final unterminated line; the next call sees EOF.
+                    let line = std::mem::take(&mut self.buffer);
+                    return Ok(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
+                }
+                Ok(read) => self.buffer.extend_from_slice(&chunk[..read]),
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Frame::Idle)
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
+
+/// What the serve loops need from a connection transport: a second
+/// handle for the read side and a poll-friendly read timeout.
+trait ServeStream: Read + Write + Send + Sized {
+    fn duplicate(&self) -> io::Result<Self>;
+    fn set_read_interval(&self, timeout: Duration) -> io::Result<()>;
+}
+
+#[cfg(unix)]
+impl ServeStream for std::os::unix::net::UnixStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_interval(&self, timeout: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+impl ServeStream for std::net::TcpStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_interval(&self, timeout: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+/// Sums per-outcome report counts — a helper for clients rendering
+/// progress from a final summary.
+pub fn summary_parts(outcomes: &[ScenarioOutcome]) -> usize {
+    outcomes.iter().map(|o| o.parts).sum()
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentReport, Series};
+    use crate::scenario_api::Scenario;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    struct Toy {
+        id: &'static str,
+        parts: usize,
+    }
+
+    impl Scenario for Toy {
+        fn id(&self) -> &str {
+            self.id
+        }
+        fn title(&self) -> &str {
+            "toy service scenario"
+        }
+        fn override_keys(&self) -> Option<Vec<&str>> {
+            Some(vec!["offset"])
+        }
+        fn parts(&self, _params: &ScenarioParams) -> usize {
+            self.parts
+        }
+        fn run_part(
+            &self,
+            part: usize,
+            params: &ScenarioParams,
+            rng: &mut StdRng,
+        ) -> Vec<ExperimentReport> {
+            let offset = params.override_f64("offset", 0.0);
+            let mut r = ExperimentReport::new(self.id, "toy", "part", "value");
+            r.push_series(Series::new(
+                "trace",
+                vec![part as f64],
+                vec![offset + rng.gen_range(0.0f64..1.0)],
+            ));
+            vec![r]
+        }
+    }
+
+    fn registry() -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(Toy { id: "s1", parts: 3 })
+            .register(Toy { id: "s2", parts: 2 });
+        registry
+    }
+
+    fn scenarios() -> Vec<Arc<dyn Scenario>> {
+        registry().select(&[]).unwrap()
+    }
+
+    fn service(cache: Option<ResultCache>) -> Service {
+        Service::new(
+            registry(),
+            ServiceConfig {
+                jobs: 2,
+                cache,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn temp_cache(tag: &str) -> (ResultCache, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "sim-service-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ResultCache::open(&dir).unwrap(), dir)
+    }
+
+    /// Drives one connection end-to-end: writes every request line, half
+    /// closes, and collects every event frame the service answers.
+    fn roundtrip(service: &Service, requests: &[String]) -> Vec<Event> {
+        let (client, server) = UnixStream::pair().unwrap();
+        std::thread::scope(|scope| {
+            // The thread must *own* the server end: handle_connection
+            // returning then drops every server-side fd, which is what
+            // turns the client's read loop below into an EOF.
+            let handle = scope.spawn(move || {
+                let reader = server.try_clone().unwrap();
+                service.handle_connection(reader, server).unwrap();
+            });
+            let mut out = client.try_clone().unwrap();
+            for request in requests {
+                writeln!(out, "{request}").unwrap();
+            }
+            client.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut events = Vec::new();
+            let mut frames = FrameReader::new(&client);
+            loop {
+                match frames.read_frame().unwrap() {
+                    Frame::Eof => break,
+                    Frame::Idle => continue,
+                    Frame::Line(line) => {
+                        events.push(serde_json::from_str::<Event>(&line).unwrap());
+                    }
+                }
+            }
+            handle.join().unwrap();
+            events
+        })
+    }
+
+    fn submit_frame(spec: &JobSpec) -> String {
+        serde_json::to_string(&Request::Submit(spec.clone())).unwrap()
+    }
+
+    fn spec_with_seed(seed: u64) -> JobSpec {
+        JobSpec {
+            seed: Some(seed),
+            ..JobSpec::default()
+        }
+    }
+
+    fn done_frame(events: &[Event]) -> (u64, RunSummary, Option<CacheStats>) {
+        match events.last().expect("at least one event") {
+            Event::Done {
+                job,
+                summary,
+                cache,
+            } => (*job, summary.clone(), *cache),
+            other => panic!("expected a Done frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submitted_job_streams_lifecycle_and_matches_one_shot_bytes() {
+        let service = service(None);
+        let events = roundtrip(&service, &[submit_frame(&spec_with_seed(42))]);
+        assert_eq!(events.first(), Some(&Event::Accepted { job: 1 }));
+        let states: Vec<&PartState> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Part { job: 1, event } => Some(&event.state),
+                _ => None,
+            })
+            .collect();
+        let count = |wanted: &PartState| states.iter().filter(|s| **s == wanted).count();
+        assert_eq!(count(&PartState::Queued), 5, "3 + 2 parts queued");
+        assert_eq!(count(&PartState::Started), 5);
+        assert_eq!(count(&PartState::Finished), 5);
+        assert_eq!(count(&PartState::CacheHit), 0);
+        let (job, summary, cache) = done_frame(&events);
+        assert_eq!(job, 1);
+        assert_eq!(cache, None, "uncached service reports no stats");
+        // The daemon path and the one-shot path share the pipeline:
+        // summaries are byte-identical.
+        let one_shot = Runner::new(ScenarioParams::with_seed(42))
+            .jobs(2)
+            .run(&scenarios());
+        assert_eq!(summary.to_json(), one_shot.to_json());
+        // The job table records completion.
+        let jobs = service.jobs_snapshot(None);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, JobState::Done);
+        assert_eq!(jobs[0].parts_total, 5);
+        assert_eq!(jobs[0].parts_done, 5);
+        assert_eq!(jobs[0].scenarios, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn warm_submission_is_all_hits_with_per_job_stats_and_identical_bytes() {
+        let (cache, dir) = temp_cache("warm");
+        let service = service(Some(cache));
+        let cold = roundtrip(&service, &[submit_frame(&spec_with_seed(7))]);
+        let warm = roundtrip(&service, &[submit_frame(&spec_with_seed(7))]);
+        let (_, cold_summary, cold_stats) = done_frame(&cold);
+        let (warm_job, warm_summary, warm_stats) = done_frame(&warm);
+        assert_eq!(warm_job, 2, "job ids increment across connections");
+        // Satellite: per-job cache stats surface in the final frame and
+        // aggregate per job, not across the daemon's lifetime.
+        let cold_stats = cold_stats.expect("cached service reports stats");
+        assert_eq!(cold_stats.misses, 5);
+        assert_eq!(cold_stats.stored, 5);
+        assert_eq!(cold_stats.hits, 0);
+        let warm_stats = warm_stats.expect("cached service reports stats");
+        assert!(warm_stats.all_hits(), "{warm_stats:?}");
+        assert_eq!(warm_stats.hits, 5);
+        assert_eq!(warm_stats.misses, 0);
+        // A warm job streams cache-hit frames and never starts a part.
+        let warm_states: Vec<&PartState> = warm
+            .iter()
+            .filter_map(|e| match e {
+                Event::Part { event, .. } => Some(&event.state),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(warm_states.len(), 5);
+        assert!(warm_states.iter().all(|s| **s == PartState::CacheHit));
+        // Cold and warm submissions are byte-identical, and both match
+        // the uncached one-shot run.
+        assert_eq!(cold_summary.to_json(), warm_summary.to_json());
+        let one_shot = Runner::new(ScenarioParams::with_seed(7)).run(&scenarios());
+        assert_eq!(warm_summary.to_json(), one_shot.to_json());
+        // The table keeps each job's own counters.
+        let rows = service.jobs_snapshot(None);
+        assert_eq!(rows[0].cache, Some(cold_stats));
+        assert_eq!(rows[1].cache, Some(warm_stats));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_and_the_connection_survives() {
+        let service = service(None);
+        let events = roundtrip(
+            &service,
+            &[
+                "this is not json".to_string(),
+                "{\"Submit\":{\"only\":42}}".to_string(),
+                serde_json::to_string(&Request::List).unwrap(),
+            ],
+        );
+        assert_eq!(events.len(), 3);
+        for event in &events[..2] {
+            let Event::Error { job: None, message } = event else {
+                panic!("expected a job-less Error frame, got {event:?}");
+            };
+            assert!(message.contains("malformed"), "{message}");
+        }
+        let Event::Scenarios(infos) = &events[2] else {
+            panic!("the connection must keep serving after a bad frame");
+        };
+        assert_eq!(infos.len(), 2);
+    }
+
+    #[test]
+    fn unknown_scenarios_are_rejected_without_creating_a_job() {
+        let service = service(None);
+        let spec = JobSpec {
+            only: Some(vec!["nope".to_string()]),
+            ..JobSpec::default()
+        };
+        let events = roundtrip(&service, &[submit_frame(&spec)]);
+        assert_eq!(events.len(), 1);
+        let Event::Error { job: None, message } = &events[0] else {
+            panic!("expected rejection, got {:?}", events[0]);
+        };
+        assert!(message.contains("unknown scenario"), "{message}");
+        assert!(service.jobs_snapshot(None).is_empty());
+    }
+
+    #[test]
+    fn process_backend_without_a_worker_command_fails_cleanly() {
+        let service = service(None);
+        let spec = JobSpec {
+            backend: Some(BackendSpec::Process),
+            ..JobSpec::default()
+        };
+        let events = roundtrip(&service, &[submit_frame(&spec)]);
+        let Event::Error { job: None, message } = &events[0] else {
+            panic!("expected rejection, got {:?}", events[0]);
+        };
+        assert!(message.contains("no worker command"), "{message}");
+    }
+
+    #[test]
+    fn draining_service_refuses_submissions_but_answers_status() {
+        let service = service(None);
+        service.begin_drain();
+        let events = roundtrip(
+            &service,
+            &[
+                submit_frame(&spec_with_seed(1)),
+                serde_json::to_string(&Request::Status { job: None }).unwrap(),
+            ],
+        );
+        let Event::Error { job: None, message } = &events[0] else {
+            panic!("expected refusal, got {:?}", events[0]);
+        };
+        assert!(message.contains("shutting down"), "{message}");
+        assert_eq!(events[1], Event::Jobs(Vec::new()));
+        assert!(service.jobs_snapshot(None).is_empty());
+    }
+
+    #[test]
+    fn shutdown_request_marks_the_service_stopped() {
+        let service = service(None);
+        let events = roundtrip(
+            &service,
+            &[serde_json::to_string(&Request::Shutdown).unwrap()],
+        );
+        assert_eq!(events, vec![Event::ShuttingDown]);
+        assert!(service.stop_requested());
+        assert!(service.is_draining());
+    }
+
+    #[test]
+    fn disconnecting_mid_job_still_completes_and_caches_the_job() {
+        let (cache, dir) = temp_cache("disconnect");
+        let service = service(Some(cache));
+        // A sink over a closed pipe: every write fails, as if the client
+        // vanished right after submitting.
+        let (client, server) = UnixStream::pair().unwrap();
+        drop(client);
+        let sink = EventSink::new(server);
+        service.run_job(&spec_with_seed(3), &sink);
+        assert!(sink.is_broken());
+        // The job completed and warmed the shared cache anyway: a fresh
+        // submission over a healthy connection is all hits.
+        let rows = service.jobs_snapshot(Some(1));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].state, JobState::Done);
+        let events = roundtrip(&service, &[submit_frame(&spec_with_seed(3))]);
+        let (_, _, stats) = done_frame(&events);
+        assert!(stats.unwrap().all_hits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_infos_expose_ids_parts_and_override_keys() {
+        let service = service(None);
+        let infos = service.scenario_infos();
+        assert_eq!(
+            infos,
+            vec![
+                ScenarioInfo {
+                    id: "s1".to_string(),
+                    title: "toy service scenario".to_string(),
+                    parts: 3,
+                    override_keys: Some(vec!["offset".to_string()]),
+                },
+                ScenarioInfo {
+                    id: "s2".to_string(),
+                    title: "toy service scenario".to_string(),
+                    parts: 2,
+                    override_keys: Some(vec!["offset".to_string()]),
+                },
+            ]
+        );
+        assert_eq!(summary_parts(&[]), 0);
+    }
+
+    #[test]
+    fn job_spec_defaults_reproduce_the_cli_defaults() {
+        let params = JobSpec::all().params();
+        assert_eq!(params, ScenarioParams::default());
+        let spec = JobSpec {
+            seed: Some(9),
+            full_scale: Some(true),
+            overrides: Some(
+                [("offset".to_string(), "1.5".to_string())]
+                    .into_iter()
+                    .collect(),
+            ),
+            ..JobSpec::default()
+        };
+        let params = spec.params();
+        assert_eq!(params.seed, 9);
+        assert!(params.full_scale);
+        assert_eq!(params.override_str("offset"), Some("1.5"));
+        assert_eq!(spec.selector(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_and_split_lines() {
+        // A reader that yields a line in fragments with timeouts between
+        // them — the shape a socket with a read timeout produces.
+        struct Choppy {
+            steps: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+        }
+        impl Read for Choppy {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.steps.pop_front() {
+                    None => Ok(0),
+                    Some(Err(kind)) => Err(io::Error::new(kind, "injected")),
+                    Some(Ok(bytes)) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                }
+            }
+        }
+        let mut reader = FrameReader::new(Choppy {
+            steps: [
+                Ok(b"{\"half".to_vec()),
+                Err(io::ErrorKind::WouldBlock),
+                Err(io::ErrorKind::TimedOut),
+                Ok(b"\":1}\r\nsecond".to_vec()),
+                Err(io::ErrorKind::Interrupted),
+                Ok(b" line\n".to_vec()),
+                Ok(b"tail".to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        assert_eq!(reader.read_frame().unwrap(), Frame::Idle);
+        assert_eq!(reader.read_frame().unwrap(), Frame::Idle);
+        assert_eq!(
+            reader.read_frame().unwrap(),
+            Frame::Line("{\"half\":1}".to_string()),
+            "partial bytes survive timeouts; CRLF is stripped"
+        );
+        assert_eq!(
+            reader.read_frame().unwrap(),
+            Frame::Line("second line".to_string())
+        );
+        assert_eq!(
+            reader.read_frame().unwrap(),
+            Frame::Line("tail".to_string()),
+            "a final unterminated line is delivered"
+        );
+        assert_eq!(reader.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_cache_and_agree_byte_for_byte() {
+        let (cache, dir) = temp_cache("concurrent");
+        let service = service(Some(cache));
+        let (left, right) = std::thread::scope(|scope| {
+            let left = scope.spawn(|| roundtrip(&service, &[submit_frame(&spec_with_seed(21))]));
+            let right = scope.spawn(|| roundtrip(&service, &[submit_frame(&spec_with_seed(21))]));
+            (left.join().unwrap(), right.join().unwrap())
+        });
+        let (_, left_summary, _) = done_frame(&left);
+        let (_, right_summary, _) = done_frame(&right);
+        assert_eq!(left_summary.to_json(), right_summary.to_json());
+        let one_shot = Runner::new(ScenarioParams::with_seed(21)).run(&scenarios());
+        assert_eq!(left_summary.to_json(), one_shot.to_json());
+        // Both jobs are on the table with distinct ids.
+        let mut ids: Vec<u64> = service.jobs_snapshot(None).iter().map(|r| r.job).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,12 +1,19 @@
-//! Property tests for the worker protocol: arbitrary [`WorkItem`]s and
+//! Property tests for the wire protocols: arbitrary [`WorkItem`]s and
 //! [`PartResult`]s must survive the newline-delimited JSON framing the
 //! [`ProcessExecutor`](sim::ProcessExecutor) and the worker loop use —
-//! one message per line, parse(render(m)) == m, no embedded newlines.
+//! one message per line, parse(render(m)) == m, no embedded newlines —
+//! and the simulation service's job API ([`Request`]/[`Event`] frames,
+//! with every payload type they embed) must survive the same framing.
 
 use proptest::prelude::*;
 use sim::executor::{PartResult, WorkItem};
 use sim::experiment::{ExperimentReport, Series};
 use sim::scenario_api::ScenarioParams;
+use sim::service::{Event, Request};
+use sim::{
+    BackendSpec, CacheStats, JobSpec, JobState, JobStatus, PartEvent, PartState, RunSummary,
+    ScenarioInfo, ScenarioOutcome, ThreadsSpec,
+};
 
 /// A printable-ASCII identifier-ish string (scenario ids, override keys
 /// and values all live in this alphabet in practice; the JSON layer must
@@ -89,6 +96,207 @@ mod hex {
     }
 }
 
+/// An optional value: roughly half the samples are `None`, so absent
+/// wire fields get as much coverage as present ones.
+fn opt<S: Strategy>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+    (any::<bool>(), inner).prop_map(|(present, value)| if present { Some(value) } else { None })
+}
+
+fn fingerprint_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 32..33).prop_map(hex::encode_like)
+}
+
+fn part_state_strategy() -> impl Strategy<Value = PartState> {
+    // The vendored proptest has no prop_oneof; variants are selected by
+    // index, with unused payloads simply dropped.
+    (0u8..5, ident_strategy()).prop_map(|(variant, message)| match variant {
+        0 => PartState::Queued,
+        1 => PartState::CacheHit,
+        2 => PartState::Started,
+        3 => PartState::Finished,
+        _ => PartState::Error(message),
+    })
+}
+
+fn part_event_strategy() -> impl Strategy<Value = PartEvent> {
+    (
+        ident_strategy(),
+        0usize..64,
+        fingerprint_strategy(),
+        part_state_strategy(),
+    )
+        .prop_map(|(scenario_id, part, fingerprint, state)| PartEvent {
+            scenario_id,
+            part,
+            fingerprint,
+            state,
+        })
+}
+
+fn cache_stats_strategy() -> impl Strategy<Value = CacheStats> {
+    (
+        0usize..999,
+        0usize..999,
+        0usize..999,
+        0usize..999,
+        0usize..999,
+    )
+        .prop_map(
+            |(hits, misses, invalidated, stored, store_failures)| CacheStats {
+                hits,
+                misses,
+                invalidated,
+                stored,
+                store_failures,
+            },
+        )
+}
+
+fn job_spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        (
+            opt(prop::collection::vec(ident_strategy(), 0..3)),
+            opt(any::<u64>()),
+            opt(any::<bool>()),
+            opt(prop::collection::vec(
+                (ident_strategy(), ident_strategy()),
+                0..3,
+            )),
+        ),
+        (
+            opt(any::<bool>()),
+            opt(1usize..9),
+            opt(any::<bool>()),
+            opt((0u8..3, 1usize..9)),
+        ),
+    )
+        .prop_map(
+            |((only, seed, full_scale, overrides), (refresh, jobs, process_backend, threads))| {
+                JobSpec {
+                    only,
+                    seed,
+                    full_scale,
+                    overrides: overrides.map(|pairs| pairs.into_iter().collect()),
+                    refresh,
+                    jobs,
+                    backend: process_backend.map(|process| {
+                        if process {
+                            BackendSpec::Process
+                        } else {
+                            BackendSpec::Local
+                        }
+                    }),
+                    threads_per_item: threads.map(|(variant, count)| match variant {
+                        0 => ThreadsSpec::Sequential,
+                        1 => ThreadsSpec::Auto,
+                        _ => ThreadsSpec::Fixed(count),
+                    }),
+                }
+            },
+        )
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (0u8..4, job_spec_strategy(), opt(any::<u64>())).prop_map(
+        |(variant, spec, job)| match variant {
+            0 => Request::Submit(spec),
+            1 => Request::Status { job },
+            2 => Request::List,
+            _ => Request::Shutdown,
+        },
+    )
+}
+
+fn job_status_strategy() -> impl Strategy<Value = JobStatus> {
+    (
+        (any::<u64>(), 0u8..3, ident_strategy()),
+        prop::collection::vec(ident_strategy(), 0..4),
+        (0usize..64, 0usize..64),
+        opt(cache_stats_strategy()),
+    )
+        .prop_map(
+            |((job, state, failure), scenarios, (parts_total, parts_done), cache)| JobStatus {
+                job,
+                state: match state {
+                    0 => JobState::Running,
+                    1 => JobState::Done,
+                    _ => JobState::Failed(failure),
+                },
+                scenarios,
+                parts_total,
+                parts_done,
+                cache,
+            },
+        )
+}
+
+fn scenario_info_strategy() -> impl Strategy<Value = ScenarioInfo> {
+    (
+        ident_strategy(),
+        ident_strategy(),
+        1usize..16,
+        opt(prop::collection::vec(ident_strategy(), 0..4)),
+    )
+        .prop_map(|(id, title, parts, override_keys)| ScenarioInfo {
+            id,
+            title,
+            parts,
+            override_keys,
+        })
+}
+
+fn summary_strategy() -> impl Strategy<Value = RunSummary> {
+    let outcome = (
+        (ident_strategy(), ident_strategy()),
+        1usize..8,
+        prop::collection::vec(report_strategy(), 0..3),
+    )
+        .prop_map(|((scenario_id, title), parts, reports)| ScenarioOutcome {
+            scenario_id,
+            title,
+            parts,
+            reports,
+        });
+    (params_strategy(), prop::collection::vec(outcome, 0..3))
+        .prop_map(|(params, outcomes)| RunSummary { params, outcomes })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        (0u8..7, any::<u64>(), ident_strategy()),
+        (
+            part_event_strategy(),
+            summary_strategy(),
+            opt(cache_stats_strategy()),
+        ),
+        (
+            prop::collection::vec(job_status_strategy(), 0..3),
+            prop::collection::vec(scenario_info_strategy(), 0..3),
+            opt(any::<u64>()),
+        ),
+    )
+        .prop_map(
+            |((variant, job, message), (part, summary, cache), (jobs, scenarios, failed_job))| {
+                match variant {
+                    0 => Event::Accepted { job },
+                    1 => Event::Part { job, event: part },
+                    2 => Event::Done {
+                        job,
+                        summary,
+                        cache,
+                    },
+                    3 => Event::Error {
+                        job: failed_job,
+                        message,
+                    },
+                    4 => Event::Jobs(jobs),
+                    5 => Event::Scenarios(scenarios),
+                    _ => Event::ShuttingDown,
+                }
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -122,4 +330,31 @@ proptest! {
         prop_assert_eq!(parsed.part, item.part);
         prop_assert_eq!(&parsed.fingerprint, &item.fingerprint);
     }
+
+    #[test]
+    fn service_requests_roundtrip_the_line_protocol(request in request_strategy()) {
+        let line = serde_json::to_string(&request).unwrap();
+        prop_assert!(!line.contains('\n'), "one request per line: {line}");
+        let parsed: Request = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn service_events_roundtrip_the_line_protocol(event in event_strategy()) {
+        let line = serde_json::to_string(&event).unwrap();
+        prop_assert!(!line.contains('\n'), "one event per line: {line}");
+        let parsed: Event = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(parsed, event);
+    }
+}
+
+#[test]
+fn absent_job_spec_fields_fall_back_to_defaults() {
+    // A client may send a bare submission; every omitted field must read
+    // back as None (the daemon's defaults), not a parse error.
+    let parsed: Request = serde_json::from_str(r#"{"Submit":{}}"#).unwrap();
+    assert_eq!(parsed, Request::Submit(JobSpec::default()));
+    // And the defaults resolve to the one-shot CLI's parameters.
+    let params = JobSpec::default().params();
+    assert_eq!(params, ScenarioParams::default());
 }
