@@ -37,6 +37,7 @@ pub const CRASH_AFTER_ENV: &str = "ONIONBOTS_WORKER_CRASH_AFTER_ITEMS";
 /// condition).
 pub fn run_worker() -> io::Result<()> {
     let registry = scenarios::registry();
+    // detlint: allow(D003) reason="test-only crash-injection hook; read once at worker startup and never visible in results (a crashed worker's items re-queue elsewhere)"
     let crash_after = std::env::var(CRASH_AFTER_ENV)
         .ok()
         .and_then(|raw| raw.parse::<usize>().ok());

@@ -5,7 +5,7 @@
 //! without any communication, signs commands, and issues rental tokens
 //! (§IV-D, §IV-E).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use onion_crypto::error::CryptoError;
 use onion_crypto::rsa::{RsaKeyPair, RsaPublicKey};
@@ -22,7 +22,10 @@ use crate::rental::RentalToken;
 #[derive(Debug)]
 pub struct Botmaster {
     keypair: RsaKeyPair,
-    bots: HashMap<BotId, AddressSchedule>,
+    /// Ordered (detlint D001): a future "enumerate every bot" campaign
+    /// scenario will iterate this registry, and that sweep must happen in
+    /// id order for seed replay to hold.
+    bots: BTreeMap<BotId, AddressSchedule>,
     next_sequence: u64,
 }
 
@@ -31,7 +34,7 @@ impl Botmaster {
     pub fn new<R: Rng + ?Sized>(modulus_bits: usize, rng: &mut R) -> Self {
         Botmaster {
             keypair: RsaKeyPair::generate(modulus_bits, rng),
-            bots: HashMap::new(),
+            bots: BTreeMap::new(),
             next_sequence: 1,
         }
     }

@@ -73,9 +73,13 @@ impl WireObserver {
 
     /// Computes the summary statistics a defender could extract.
     pub fn summarize(&self) -> ObservationSummary {
-        use std::collections::HashMap;
-        let mut size_counts: HashMap<usize, usize> = HashMap::new();
-        let mut windows: HashMap<u64, usize> = HashMap::new();
+        use std::collections::BTreeMap;
+        // Ordered maps (detlint D001): the entropy fold below sums floats
+        // over these counts, and float addition is not associative — with
+        // hash order the entropy of a multi-size distribution could
+        // differ between two identical runs. BTreeMap pins the fold order.
+        let mut size_counts: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut windows: BTreeMap<u64, usize> = BTreeMap::new();
         for cell in &self.cells {
             *size_counts.entry(cell.size).or_default() += 1;
             *windows.entry(cell.window).or_default() += 1;

@@ -9,7 +9,10 @@
 //! Experiments use it to measure command coverage before and after
 //! takedowns, and the mitigation crate reuses its bot population for SOAP.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+#[allow(clippy::disallowed_types)]
+// detlint: allow(D001) reason="imported only for the membership-only `reached` set in propagate()"
+use std::collections::HashSet;
+use std::collections::{BTreeMap, VecDeque};
 
 use onion_crypto::elligator::UniformEncoder;
 use onion_crypto::kdf::derive_link_key;
@@ -56,8 +59,13 @@ impl PropagationReport {
 pub struct BotnetSimulation {
     tor: TorNetwork,
     botmaster: Botmaster,
-    bots: HashMap<BotId, Bot>,
-    address_index: HashMap<OnionAddress, BotId>,
+    /// Ordered (detlint D001): `publish_all_descriptors` and `rotate_all`
+    /// iterate the population, so bot order must be id order, not hash
+    /// order, for seed replay to hold.
+    bots: BTreeMap<BotId, Bot>,
+    /// Ordered (detlint D001): point lookups today, but rebuilt during
+    /// rotation and one `keys()` sweep away from leaking into gossip.
+    address_index: BTreeMap<OnionAddress, BotId>,
     link_secret: Vec<u8>,
     clock_secs: u64,
 }
@@ -71,8 +79,8 @@ impl BotnetSimulation {
         BotnetSimulation {
             tor: TorNetwork::new(relay_count, rng),
             botmaster,
-            bots: HashMap::new(),
-            address_index: HashMap::new(),
+            bots: BTreeMap::new(),
+            address_index: BTreeMap::new(),
             link_secret,
             clock_secs: 0,
         }
@@ -100,9 +108,7 @@ impl BotnetSimulation {
 
     /// The live bots' identifiers, in ascending order.
     pub fn bot_ids(&self) -> Vec<BotId> {
-        let mut ids: Vec<BotId> = self.bots.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.bots.keys().copied().collect()
     }
 
     /// Current onion address of a bot.
@@ -161,7 +167,7 @@ impl BotnetSimulation {
     /// forming the initial overlay.
     pub fn rally<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) {
         let ids = self.bot_ids();
-        let addresses: HashMap<BotId, OnionAddress> = ids
+        let addresses: BTreeMap<BotId, OnionAddress> = ids
             .iter()
             .map(|&id| (id, self.bots[&id].current_address()))
             .collect();
@@ -235,6 +241,8 @@ impl BotnetSimulation {
         seed_ids.shuffle(rng);
         seed_ids.truncate(seeds.max(1));
 
+        #[allow(clippy::disallowed_types)]
+        // detlint: allow(D001) reason="membership-only: insert/contains/len; iteration never happens, so hash order cannot leak into the RNG stream or the report"
         let mut reached: HashSet<BotId> = HashSet::new();
         let mut queue: VecDeque<(BotId, usize)> = VecDeque::new();
 
@@ -308,10 +316,10 @@ impl BotnetSimulation {
     /// per live bot, one edge per (mutual or one-sided) peer relation.
     /// Mitigation experiments (SOAP) operate on this snapshot, and the
     /// returned map translates graph nodes back to bot identifiers.
-    pub fn overlay_snapshot(&self) -> (onion_graph::Graph, HashMap<onion_graph::NodeId, BotId>) {
+    pub fn overlay_snapshot(&self) -> (onion_graph::Graph, BTreeMap<onion_graph::NodeId, BotId>) {
         let mut graph = onion_graph::Graph::new();
-        let mut by_bot: HashMap<BotId, onion_graph::NodeId> = HashMap::new();
-        let mut by_node: HashMap<onion_graph::NodeId, BotId> = HashMap::new();
+        let mut by_bot: BTreeMap<BotId, onion_graph::NodeId> = BTreeMap::new();
+        let mut by_node: BTreeMap<onion_graph::NodeId, BotId> = BTreeMap::new();
         for id in self.bot_ids() {
             let node = graph.add_node();
             by_bot.insert(id, node);
@@ -368,7 +376,7 @@ impl BotnetSimulation {
         }
         // Peers learn the new addresses through AddressAnnounce maintenance
         // messages; the simulation applies the renames directly.
-        let rename_map: HashMap<OnionAddress, OnionAddress> =
+        let rename_map: BTreeMap<OnionAddress, OnionAddress> =
             renames.iter().map(|(old, new, _)| (*old, *new)).collect();
         for bot in self.bots.values_mut() {
             let old_peers = bot.peers();

@@ -1,0 +1,294 @@
+//! `detlint.toml` — the checked-in scope configuration.
+//!
+//! The file is TOML, restricted to the subset this hand-written parser
+//! accepts (no TOML crate offline): `[section]` headers, `key = "string"`
+//! scalars, and `key = ["a", "b", ...]` string arrays which may span
+//! lines. `#` comments are allowed anywhere outside strings. Unknown
+//! sections or keys are hard errors so a typo cannot silently widen or
+//! narrow the lint's scope.
+//!
+//! Recognized schema:
+//!
+//! ```toml
+//! [scan]
+//! exclude = ["vendor/", ...]        # path prefixes never lexed
+//!
+//! [rules.D001]
+//! paths = ["crates/onion-graph/src/", ...]   # where D001 applies
+//!
+//! [rules.D002]
+//! allow = ["crates/bench/src/bin/run_experiments.rs", ...]
+//!
+//! [rules.D003]
+//! allow = [...]
+//!
+//! [rules.D004]
+//! inventory = ["crates/bench/src/bin/run_experiments.rs:1", ...]
+//! ```
+//!
+//! All paths are `/`-separated and relative to the workspace root; a
+//! trailing `/` makes the entry a directory prefix, otherwise it names a
+//! single file. `inventory` entries are `path:count` — the exact number
+//! of `unsafe` tokens that file is pinned to carry.
+
+/// Parsed configuration. Path lists keep file order (diagnostic output is
+/// sorted separately, so order here is cosmetic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Root-relative path prefixes that are never scanned.
+    pub exclude: Vec<String>,
+    /// RNG-adjacent prefixes where D001 (hash container) applies.
+    pub d001_paths: Vec<String>,
+    /// Sanctioned timing modules exempt from D002.
+    pub d002_allow: Vec<String>,
+    /// Sanctioned configuration modules exempt from D003.
+    pub d003_allow: Vec<String>,
+    /// `(file, expected unsafe-token count)` — the D004 inventory.
+    pub d004_inventory: Vec<(String, usize)>,
+}
+
+impl Config {
+    /// Parses the configuration text.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the offending line for any
+    /// syntax error, unknown section/key, or malformed inventory entry.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("line {}: unclosed section header", idx + 1));
+                };
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "scan" | "rules.D001" | "rules.D002" | "rules.D003" | "rules.D004" => {}
+                    other => return Err(format!("line {}: unknown section [{other}]", idx + 1)),
+                }
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(format!("line {}: expected `key = value`", idx + 1));
+            };
+            let key = line[..eq].trim().to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // A string array may span lines: keep consuming until the
+            // bracket closes (brackets never appear inside our values).
+            if value.starts_with('[') {
+                while !balanced(&value) {
+                    let Some((_, more)) = lines.next() else {
+                        return Err(format!("line {}: unclosed array for `{key}`", idx + 1));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(more).trim());
+                }
+            }
+            let values = parse_string_array(&value)
+                .map_err(|e| format!("line {}: key `{key}`: {e}", idx + 1))?;
+            match (section.as_str(), key.as_str()) {
+                ("scan", "exclude") => config.exclude = values,
+                ("rules.D001", "paths") => config.d001_paths = values,
+                ("rules.D002", "allow") => config.d002_allow = values,
+                ("rules.D003", "allow") => config.d003_allow = values,
+                ("rules.D004", "inventory") => {
+                    for entry in values {
+                        let Some((path, count)) = entry.rsplit_once(':') else {
+                            return Err(format!(
+                                "line {}: inventory entry `{entry}` is not `path:count`",
+                                idx + 1
+                            ));
+                        };
+                        let count: usize = count.parse().map_err(|_| {
+                            format!(
+                                "line {}: inventory count in `{entry}` is not a number",
+                                idx + 1
+                            )
+                        })?;
+                        config.d004_inventory.push((path.to_string(), count));
+                    }
+                }
+                (sec, key) => {
+                    return Err(format!(
+                        "line {}: unknown key `{key}` in section [{sec}]",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether every `[` has been matched by a `]` outside strings.
+fn balanced(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Parses `"one"` or `["one", "two"]` into a list of strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err("unclosed `[`".to_string());
+        };
+        let mut out = Vec::new();
+        for piece in split_top_level_commas(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue; // permits trailing commas
+            }
+            out.push(parse_string(piece)?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut pieces = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                pieces.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pieces.push(&s[start..]);
+    pieces
+}
+
+fn parse_string(piece: &str) -> Result<String, String> {
+    let Some(rest) = piece.strip_prefix('"') else {
+        return Err(format!("expected a double-quoted string, found `{piece}`"));
+    };
+    let Some(body) = rest.strip_suffix('"') else {
+        return Err(format!("unterminated string `{piece}`"));
+    };
+    if body.contains('"') {
+        return Err(format!("stray quote inside `{piece}`"));
+    }
+    Ok(body.to_string())
+}
+
+/// `true` when `path` (root-relative, `/`-separated) is covered by an
+/// entry list: directory entries (trailing `/`) match by prefix, file
+/// entries match exactly.
+pub fn path_matches(path: &str, entries: &[String]) -> bool {
+    entries.iter().any(|e| {
+        if e.ends_with('/') {
+            path.starts_with(e.as_str())
+        } else {
+            path == e
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# workspace lint scope
+[scan]
+exclude = [
+    "vendor/",    # offline dependency stubs
+    "target/",
+]
+
+[rules.D001]
+paths = ["crates/onion-graph/src/", "crates/sim/src/"]
+
+[rules.D002]
+allow = ["crates/bench/src/bin/run_experiments.rs"]
+
+[rules.D003]
+allow = []
+
+[rules.D004]
+inventory = ["crates/bench/src/bin/run_experiments.rs:1"]
+"#;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert_eq!(c.exclude, vec!["vendor/", "target/"]);
+        assert_eq!(
+            c.d001_paths,
+            vec!["crates/onion-graph/src/", "crates/sim/src/"]
+        );
+        assert_eq!(
+            c.d002_allow,
+            vec!["crates/bench/src/bin/run_experiments.rs"]
+        );
+        assert!(c.d003_allow.is_empty());
+        assert_eq!(
+            c.d004_inventory,
+            vec![("crates/bench/src/bin/run_experiments.rs".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_rejected() {
+        assert!(Config::parse("[rules.D009]\npaths = []").is_err());
+        assert!(Config::parse("[scan]\nexlcude = []").is_err());
+        assert!(Config::parse("[rules.D001]\nallow = []").is_err());
+    }
+
+    #[test]
+    fn malformed_inventory_entries_are_rejected() {
+        assert!(Config::parse("[rules.D004]\ninventory = [\"no-count\"]").is_err());
+        assert!(Config::parse("[rules.D004]\ninventory = [\"file:x\"]").is_err());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let c = Config::parse("[scan]\nexclude = [\"weird#dir/\"]").unwrap();
+        assert_eq!(c.exclude, vec!["weird#dir/"]);
+    }
+
+    #[test]
+    fn path_matching_distinguishes_prefixes_from_files() {
+        let dirs = vec!["crates/sim/src/".to_string()];
+        assert!(path_matches("crates/sim/src/runner.rs", &dirs));
+        assert!(!path_matches("crates/sim2/src/runner.rs", &dirs));
+        let files = vec!["crates/sim/src/cache.rs".to_string()];
+        assert!(path_matches("crates/sim/src/cache.rs", &files));
+        assert!(!path_matches("crates/sim/src/cache.rs.bak", &files));
+    }
+}

@@ -1,0 +1,449 @@
+//! A small hand-written Rust lexer, just deep enough for linting.
+//!
+//! The rules in [`crate::rules`] match identifier sequences, so all the
+//! lexer has to get *right* is what is and is not code: comments (line,
+//! nested block), string literals (plain, byte, raw with any hash depth),
+//! char and byte-char literals, and lifetimes must never contribute
+//! identifier tokens, and comments must be captured verbatim so pragmas
+//! (`// detlint: allow(D001) reason="..."`) can be recognized — while the
+//! same text inside a string literal must *not* count as a pragma.
+//!
+//! A full parser (`syn`) would be overkill and is unavailable offline; a
+//! regex over raw source would be wrong (every rule keyword appears in
+//! docs and strings). The lexer is the smallest layer that is actually
+//! sound for this job.
+
+/// One lexed token that survives masking (identifiers and punctuation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokenKind,
+}
+
+/// Token payload. Numbers, strings, chars, lifetimes and comments are
+/// deliberately dropped — rules never match them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `env`, ...).
+    Ident(String),
+    /// A single punctuation character (`:`, `(`, `.`, ...).
+    Punct(char),
+}
+
+/// A comment, captured verbatim (without its delimiters) for pragma
+/// scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs from `line` only for
+    /// multi-line block comments).
+    pub end_line: u32,
+    /// The comment body, excluding `//`, `/*` and `*/`.
+    pub text: String,
+    /// `true` when code tokens precede the comment on its starting line
+    /// (a trailing comment annotates its own line; a comment alone on a
+    /// line annotates the next).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Identifier/punctuation tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Invalid source never panics: unterminated literals
+/// and comments simply run to end of input.
+pub fn lex(source: &str) -> LexOutput {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Whether a code token has been emitted on the current line.
+    line_has_code: bool,
+    out: LexOutput,
+    source: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            line_has_code: false,
+            out: LexOutput::default(),
+            source: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_code = false;
+            }
+        }
+        c
+    }
+
+    fn push_ident(&mut self, line: u32, text: String) {
+        self.line_has_code = true;
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Ident(text),
+        });
+    }
+
+    fn push_punct(&mut self, line: u32, c: char) {
+        self.line_has_code = true;
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Punct(c),
+        });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.push_punct(line, c);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        self.bump();
+        self.bump(); // the two slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        self.bump();
+        self.bump(); // the `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            trailing,
+        });
+    }
+
+    /// A plain or byte string body, after the opening quote has been seen
+    /// but not consumed. Handles `\"` and `\\` escapes; may span lines.
+    fn string_literal(&mut self) {
+        self.line_has_code = true;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw string body `r##"..."##`: `hashes` pounds follow the `r`;
+    /// the opening pounds and quote have not been consumed yet.
+    fn raw_string_literal(&mut self, hashes: usize) {
+        self.line_has_code = true;
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A `'`: either a char literal or a lifetime. For valid Rust the
+    /// disambiguation is: `'` + escape is always a char; `'` + identifier
+    /// run is a char literal iff a closing `'` immediately follows the
+    /// run (lifetimes are never followed by `'`); anything else (`'('`,
+    /// `' '`) is a char literal closed by the next `'`.
+    fn quote(&mut self) {
+        self.line_has_code = true;
+        self.bump(); // the opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escape head, e.g. `n` or `'` or `u`
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut run = 0usize;
+                while self.peek(run).is_some_and(is_ident_continue) {
+                    run += 1;
+                }
+                if self.peek(run) == Some('\'') {
+                    // Char literal like 'a': consume run + closing quote.
+                    for _ in 0..=run {
+                        self.bump();
+                    }
+                } else {
+                    // Lifetime: consume the name, emit nothing.
+                    for _ in 0..run {
+                        self.bump();
+                    }
+                }
+            }
+            Some(_) => {
+                // Char literal of punctuation or whitespace: `'('`, `' '`.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// An identifier — or the prefix of a raw/byte literal (`r"..."`,
+    /// `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`) or a raw identifier
+    /// (`r#type`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut ident = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            ident.push(self.bump().expect("peek said a char is there"));
+        }
+        match (ident.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"')) => self.raw_string_literal(0),
+            ("r" | "br", Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.raw_string_literal(hashes);
+                } else if ident == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier `r#type`: skip the `#`, lex the name.
+                    self.bump();
+                    let mut raw = String::new();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        raw.push(self.bump().expect("peek said a char is there"));
+                    }
+                    self.push_ident(line, raw);
+                } else {
+                    self.push_ident(line, ident);
+                }
+            }
+            ("b", Some('"')) => self.string_literal(),
+            ("b", Some('\'')) => self.quote(),
+            _ => self.push_ident(line, ident),
+        }
+    }
+
+    /// A numeric literal: consumed and dropped. Trailing type suffixes
+    /// (`1u64`) are eaten with the number; a decimal point splits the
+    /// literal into two harmless number tokens, which rules never match.
+    fn number(&mut self) {
+        self.line_has_code = true;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<(u32, String)> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some((t.line, s)),
+                TokenKind::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_carry_line_numbers() {
+        let got = idents("foo\nbar baz\n\nqux");
+        assert_eq!(
+            got,
+            vec![
+                (1, "foo".to_string()),
+                (2, "bar".to_string()),
+                (2, "baz".to_string()),
+                (4, "qux".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_idents() {
+        let got = idents(r#"let x = "HashMap thread_rng"; let c = 'H'; let e = '\u{41}';"#);
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["let", "x", "let", "c", "let", "e"]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let got = idents(r#"let s = "a\"HashMap\""; after"#);
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_masked() {
+        let got = idents("let s = r#\"unsafe \"# HashMap \"#; done\"#; after");
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        // The raw string runs to the first `"#`, so HashMap IS code here.
+        assert_eq!(names, vec!["let", "s", "HashMap", "after"]);
+        let got = idents("let s = r##\"unsafe \"# HashMap\"##; after");
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_literals_are_masked() {
+        let got = idents(r#"let s = b"HashMap"; let c = b'x'; after"#);
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["let", "s", "let", "c", "after"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        let got = idents("fn r#unsafe() {}");
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["fn", "unsafe"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let got = idents("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';");
+        let names: Vec<&str> = got.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["fn", "f", "x", "str", "str", "x", "let", "c"]);
+        // Neither lifetime names nor the char literal 'x' become idents.
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "before /* outer /* inner */ still-comment HashMap */ after";
+        let names: Vec<String> = idents(src).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(names, vec!["before", "after"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn comments_know_whether_code_precedes_them() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_end_line() {
+        let lexed = lex("/* a\n b\n c */\nlet x = 1;");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_without_panicking() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! detlint — the workspace determinism lint.
+//!
+//! Byte-identical replay for a fixed seed is the invariant every
+//! subsystem here is built on: cache fingerprints replay stored results,
+//! executor backends must be output-indistinguishable, and the daemon's
+//! `Done` summaries must match one-shot runs. That invariant has been
+//! broken twice by the same bug class — hash-randomized `HashMap`/
+//! `HashSet` iteration leaking into RNG streams — so it is now enforced
+//! by a tool instead of reviewer vigilance.
+//!
+//! `cargo run -p detlint -- --deny` lexes every Rust source in the
+//! workspace (a hand-written lexer: comments, strings, raw strings, char
+//! literals — see [`lexer`]) and applies the rule catalog in [`rules`],
+//! scoped by the checked-in `detlint.toml` ([`config`]). Findings are
+//! suppressible only by an in-source pragma with a mandatory reason
+//! ([`pragma`]). Diagnostics are stable (`file:line: D00N message`,
+//! sorted) and available as JSON for CI.
+//!
+//! See `DESIGN.md` § "Determinism lint" for the rationale and the full
+//! rule catalog.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::{Violation, RULE_IDS};
+
+/// Directory names never descended into, regardless of configuration.
+const ALWAYS_SKIPPED_DIRS: [&str; 2] = ["target", ".git"];
+
+/// Lints every `.rs` file under `root`, applying `config`.
+///
+/// Files are visited in sorted path order and diagnostics are sorted by
+/// `(file, line, rule)`, so output is stable across filesystems.
+///
+/// # Errors
+/// Returns an error string for I/O failures (unreadable directories or
+/// files) — those must fail the lint run loudly, not skip files.
+pub fn run_workspace(root: &Path, config: &Config) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, config, &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for rel in &files {
+        let full = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
+        let source = std::fs::read_to_string(&full)
+            .map_err(|e| format!("failed to read {}: {e}", full.display()))?;
+        violations.extend(rules::check_file(rel, &source, config));
+        seen.push(rel.as_str());
+    }
+
+    // Inventory completeness: a D004 entry pointing at a file that no
+    // longer exists (or was excluded) is stale and must be cleaned up.
+    for (file, _) in &config.d004_inventory {
+        if !seen.contains(&file.as_str()) {
+            violations.push(Violation {
+                file: file.clone(),
+                line: 1,
+                rule: "D004",
+                message: "D004 inventory names a file that was not scanned; \
+                          remove the stale entry from detlint.toml"
+                    .to_string(),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(violations)
+}
+
+fn collect_rust_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = relative_slash_path(root, &path);
+        if path.is_dir() {
+            if ALWAYS_SKIPPED_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel_dir = format!("{rel}/");
+            if config
+                .exclude
+                .iter()
+                .any(|e| rel_dir.starts_with(e.as_str()))
+            {
+                continue;
+            }
+            collect_rust_files(root, &path, config, out)?;
+        } else if name.ends_with(".rs") && !config::path_matches(&rel, &config.exclude) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated on every platform.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for component in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&component.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Loads `detlint.toml` from `root`.
+///
+/// # Errors
+/// Returns an error string when the file is missing or malformed.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+    Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` containing
+/// `detlint.toml`. Lets `cargo run -p detlint` work from any subdirectory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("detlint.toml").is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Renders violations as a JSON array (for `--json` / CI consumption).
+/// Hand-rolled so the lint stays dependency-free.
+pub fn to_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape_json(&v.file),
+            v.line,
+            v.rule,
+            escape_json(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_escapes_and_stays_valid() {
+        let v = vec![Violation {
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            rule: "D001",
+            message: "say \"no\"\n".to_string(),
+        }];
+        let json = to_json(&v);
+        assert!(json.contains(r#""file": "a\"b.rs""#));
+        assert!(json.contains(r#"\n"#));
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/workspace");
+        let file = Path::new("/workspace/crates/sim/src/runner.rs");
+        assert_eq!(relative_slash_path(root, file), "crates/sim/src/runner.rs");
+    }
+}

@@ -1,0 +1,117 @@
+//! CLI front-end: `cargo run -p detlint -- [--deny] [--json] [--root DIR]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: detlint [options]
+
+Lints every Rust source in the workspace against the determinism rule
+catalog (D001 hash containers on RNG-adjacent paths, D002 wall clock /
+OS entropy, D003 environment reads, D004 unsafe inventory, D005 pragma
+hygiene), scoped by the checked-in detlint.toml.
+
+Options:
+  --deny        exit non-zero when any violation is found (CI mode)
+  --json        print findings as a JSON array instead of file:line text
+  --root DIR    workspace root (default: nearest ancestor of the current
+                directory containing detlint.toml)
+  -h, --help    show this help
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("detlint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("detlint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match detlint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "detlint: no detlint.toml found in {} or any ancestor; \
+                         pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let config = match detlint::load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations = match detlint::run_workspace(&root, &config) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", detlint::to_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+    }
+    if violations.is_empty() {
+        eprintln!("detlint: workspace is clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "detlint: {} violation(s){}",
+            violations.len(),
+            if deny {
+                ""
+            } else {
+                " (advisory; use --deny to fail)"
+            }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! In-source suppression pragmas.
+//!
+//! Grammar — the whole comment, nothing before the marker:
+//!
+//! ```text
+//! // detlint: allow(D001[, D002...]) reason="non-empty free text"
+//! ```
+//!
+//! Only plain `//` (or `/* ... */`) comments whose content *starts* with
+//! the marker are pragmas: in a doc comment (`///`, `//!`) the captured
+//! text begins with `/` or `!`, so documentation may freely *mention*
+//! the syntax without suppressing anything.
+//!
+//! A pragma trailing code on its line suppresses findings on that line; a
+//! pragma alone on a line suppresses findings on the line after the
+//! comment ends. The `reason` is mandatory and must be non-empty: the
+//! whole point of the lint is that every surviving hash container or
+//! clock read carries a reviewable justification next to the code.
+//!
+//! Anything that contains the marker `detlint:` but does not parse — or
+//! parses with an empty reason or an unknown rule id — is itself reported
+//! (rule `D005`) and suppresses nothing, so a typo can never silently
+//! disable enforcement. Likewise a pragma that suppresses nothing is
+//! reported, so stale pragmas cannot outlive the code they excused.
+
+use crate::lexer::Comment;
+use crate::rules::is_known_rule;
+
+/// The marker that makes a comment a (claimed) pragma.
+pub const MARKER: &str = "detlint";
+
+/// A successfully parsed suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the pragma comment starts on (for diagnostics).
+    pub line: u32,
+    /// Line whose findings this pragma suppresses.
+    pub applies_to: u32,
+    /// Rule ids listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// Scans a comment for the pragma marker. Returns:
+/// * `None` — not a pragma comment at all;
+/// * `Some(Ok(p))` — a well-formed pragma;
+/// * `Some(Err(msg))` — claims to be a pragma but is malformed (`D005`).
+pub fn parse(comment: &Comment) -> Option<Result<Pragma, String>> {
+    let rest = comment.text.trim_start().strip_prefix(MARKER)?;
+    // A comment *starting* with `detlint` claims to be a pragma; from
+    // here on, anything unexpected is an error, not a silent no-op.
+    Some(parse_body(comment, rest))
+}
+
+fn parse_body(comment: &Comment, body: &str) -> Result<Pragma, String> {
+    let Some(body) = body.strip_prefix(':') else {
+        return Err("expected `:` after `detlint`".to_string());
+    };
+    let body = body.trim_start();
+    let Some(after_allow) = body.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(RULE, ...)` after `{MARKER}`, found `{}`",
+            truncate(body)
+        ));
+    };
+    let after_allow = after_allow.trim_start();
+    let Some(after_paren) = after_allow.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = after_paren.find(')') else {
+        return Err("unclosed `allow(` rule list".to_string());
+    };
+    let list = &after_paren[..close];
+    let mut rules = Vec::new();
+    for raw in list.split(',') {
+        let id = raw.trim();
+        if id.is_empty() {
+            return Err("empty rule id in `allow(...)`".to_string());
+        }
+        if !is_known_rule(id) {
+            return Err(format!("unknown rule id `{id}` in `allow(...)`"));
+        }
+        if !rules.iter().any(|r| r == id) {
+            rules.push(id.to_string());
+        }
+    }
+    if rules.is_empty() {
+        return Err("`allow()` lists no rules".to_string());
+    }
+
+    let rest = after_paren[close + 1..].trim_start();
+    let Some(after_reason) = rest.strip_prefix("reason") else {
+        return Err("missing mandatory `reason=\"...\"`".to_string());
+    };
+    let after_reason = after_reason.trim_start();
+    let Some(after_eq) = after_reason.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let after_eq = after_eq.trim_start();
+    let Some(quoted) = after_eq.strip_prefix('"') else {
+        return Err("`reason` must be a double-quoted string".to_string());
+    };
+    let Some(end) = quoted.find('"') else {
+        return Err("unclosed `reason` string".to_string());
+    };
+    let reason = quoted[..end].trim();
+    if reason.is_empty() {
+        return Err("`reason` must not be empty".to_string());
+    }
+
+    Ok(Pragma {
+        line: comment.line,
+        applies_to: if comment.trailing {
+            comment.line
+        } else {
+            comment.end_line + 1
+        },
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+fn truncate(s: &str) -> String {
+    const MAX: usize = 40;
+    if s.chars().count() <= MAX {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(MAX).collect();
+        format!("{head}...")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, trailing: bool) -> Comment {
+        Comment {
+            line: 7,
+            end_line: 7,
+            text: text.to_string(),
+            trailing,
+        }
+    }
+
+    #[test]
+    fn well_formed_trailing_pragma_applies_to_its_own_line() {
+        let p = parse(&comment(
+            r#" detlint: allow(D001) reason="membership-only set""#,
+            true,
+        ))
+        .expect("is a pragma")
+        .expect("parses");
+        assert_eq!(p.applies_to, 7);
+        assert_eq!(p.rules, vec!["D001"]);
+        assert_eq!(p.reason, "membership-only set");
+    }
+
+    #[test]
+    fn own_line_pragma_applies_to_the_next_line() {
+        let p = parse(&comment(r#" detlint: allow(D001, D002) reason="x""#, false))
+            .expect("is a pragma")
+            .expect("parses");
+        assert_eq!(p.applies_to, 8);
+        assert_eq!(p.rules, vec!["D001", "D002"]);
+    }
+
+    #[test]
+    fn multiline_block_pragma_applies_after_the_comment_ends() {
+        let c = Comment {
+            line: 3,
+            end_line: 5,
+            text: r#" detlint: allow(D003) reason="spans lines" "#.to_string(),
+            trailing: false,
+        };
+        let p = parse(&c).expect("is a pragma").expect("parses");
+        assert_eq!(p.applies_to, 6);
+    }
+
+    #[test]
+    fn non_pragma_comments_are_ignored() {
+        // The marker must lead the comment, not merely appear in it.
+        assert!(parse(&comment(" just words about the detlint tool", true)).is_none());
+        assert!(parse(&comment(" allow(D001) without the marker", true)).is_none());
+        // Doc comments (`///`, `//!`) capture a leading `/` or `!`, so
+        // documentation can show the full pragma syntax safely.
+        assert!(parse(&comment(
+            r#"/ use `// detlint: allow(D001) reason="..."`"#,
+            false
+        ))
+        .is_none());
+        assert!(parse(&comment(r#"! detlint: allow(D001) reason="x""#, false)).is_none());
+    }
+
+    #[test]
+    fn malformed_pragmas_error_instead_of_silently_suppressing() {
+        for bad in [
+            " detlint allow(D001) reason=\"x\"",      // missing colon
+            " detlint: allow(D001)",                  // no reason
+            r#" detlint: allow(D001) reason="""#,     // empty reason
+            r#" detlint: allow(D001) reason=flaky"#,  // unquoted reason
+            r#" detlint: allow() reason="x""#,        // no rules
+            r#" detlint: allow(D9999) reason="x""#,   // unknown rule
+            r#" detlint: deny(D001) reason="x""#,     // wrong verb
+            r#" detlint: allow(D001 reason="x""#,     // unclosed list
+            r#" detlint: allow(D001,) reason="x""#,   // empty id
+            r#" detlint: allow(D001) reason="   " "#, // blank reason
+        ] {
+            let res = parse(&comment(bad, true)).expect("marker present");
+            assert!(res.is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn duplicate_rule_ids_collapse() {
+        let p = parse(&comment(r#" detlint: allow(D001, D001) reason="x""#, true))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.rules, vec!["D001"]);
+    }
+}

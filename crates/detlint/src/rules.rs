@@ -1,0 +1,419 @@
+//! The determinism rule catalog.
+//!
+//! | Rule | What it catches | Scope |
+//! |------|-----------------|-------|
+//! | D001 | `HashMap`/`HashSet` in RNG-adjacent paths (hash-randomized iteration order can leak into RNG streams or output) | `[rules.D001] paths` |
+//! | D002 | wall-clock / OS-entropy sources (`SystemTime::now`, `Instant::now`, `thread_rng`, `from_entropy`, `OsRng`) | everywhere except `[rules.D002] allow` |
+//! | D003 | environment reads (`env::var` & friends) | everywhere except `[rules.D003] allow` |
+//! | D004 | `unsafe` outside the pinned inventory | everywhere; `[rules.D004] inventory` pins exact counts |
+//! | D005 | pragma hygiene: malformed, reason-less, unknown-rule or unused pragmas | everywhere |
+//!
+//! Rules match the lexed token stream, so occurrences inside comments,
+//! strings and char literals never fire. Matching is purely lexical:
+//! D001 flags the *type names*, not just iteration calls, because a
+//! lexer cannot type the receiver of `.iter()` — and a hash container
+//! that is *constructed* on an RNG-adjacent path is exactly the thing a
+//! human must either replace with an ordered container or justify with
+//! a pragma. That trade (a few justified pragmas on membership-only
+//! sites) buys the property that no new hash-ordered iteration can land
+//! unreviewed.
+
+use crate::config::{path_matches, Config};
+use crate::lexer::{lex, TokenKind};
+use crate::pragma::{self, Pragma};
+
+/// Every rule id the catalog knows.
+pub const RULE_IDS: [&str; 5] = ["D001", "D002", "D003", "D004", "D005"];
+
+/// Whether `id` names a cataloged rule (used to validate pragmas).
+pub fn is_known_rule(id: &str) -> bool {
+    RULE_IDS.contains(&id)
+}
+
+/// One diagnostic. Renders as `file:line: RULE message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-root-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id, e.g. `D001`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Identifiers that are OS-entropy sources wherever they appear (even in
+/// a `use` line: importing one is already a hazard worth justifying).
+const ENTROPY_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+/// `env::` member calls that read or mutate the process environment.
+const ENV_READS: [&str; 6] = ["var", "var_os", "vars", "vars_os", "set_var", "remove_var"];
+
+/// Lints one file's source text. `rel_path` must be workspace-root
+/// relative and `/`-separated — it selects which rules are in scope.
+pub fn check_file(rel_path: &str, source: &str, config: &Config) -> Vec<Violation> {
+    let lexed = lex(source);
+
+    // Pragmas first: malformed ones are violations and suppress nothing.
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut pragmas: Vec<(Pragma, bool)> = Vec::new(); // (pragma, used)
+    for comment in &lexed.comments {
+        match pragma::parse(comment) {
+            None => {}
+            Some(Ok(p)) => pragmas.push((p, false)),
+            Some(Err(msg)) => violations.push(Violation::new(
+                rel_path,
+                comment.line,
+                "D005",
+                format!("malformed detlint pragma ({msg}); it suppresses nothing"),
+            )),
+        }
+    }
+
+    let mut findings: Vec<Violation> = Vec::new();
+
+    // D001 — hash-randomized containers on RNG-adjacent paths.
+    let d001_applies = path_matches(rel_path, &config.d001_paths);
+
+    // D002/D003 — exemptions.
+    let d002_applies = !path_matches(rel_path, &config.d002_allow);
+    let d003_applies = !path_matches(rel_path, &config.d003_allow);
+
+    // D004 — inventoried files get a count comparison instead of
+    // per-occurrence findings.
+    let d004_expected = config
+        .d004_inventory
+        .iter()
+        .find(|(file, _)| file == rel_path)
+        .map(|(_, count)| *count);
+    let mut unsafe_lines: Vec<u32> = Vec::new();
+
+    let tokens = &lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &token.kind else {
+            continue;
+        };
+        match name.as_str() {
+            "HashMap" | "HashSet" if d001_applies => findings.push(Violation::new(
+                rel_path,
+                token.line,
+                "D001",
+                format!(
+                    "hash-randomized `{name}` on an RNG-adjacent path; use an ordered \
+                     container (BTreeMap/BTreeSet/Vec) or justify a membership-only use \
+                     with `// detlint: allow(D001) reason=\"...\"`"
+                ),
+            )),
+            "SystemTime" | "Instant" if d002_applies && followed_by_now(tokens, i) => {
+                findings.push(Violation::new(
+                    rel_path,
+                    token.line,
+                    "D002",
+                    format!(
+                        "wall-clock read `{name}::now` outside sanctioned timing modules; \
+                         simulated time must come from the scenario clock"
+                    ),
+                ));
+            }
+            n if d002_applies && ENTROPY_IDENTS.contains(&n) => {
+                findings.push(Violation::new(
+                    rel_path,
+                    token.line,
+                    "D002",
+                    format!(
+                        "OS-entropy source `{n}`; all randomness must derive from the \
+                         per-part seed (`StdRng::seed_from_u64` on a derived seed)"
+                    ),
+                ));
+            }
+            "env" if d003_applies => {
+                if let Some(member) = env_member(tokens, i) {
+                    findings.push(Violation::new(
+                        rel_path,
+                        token.line,
+                        "D003",
+                        format!(
+                            "environment read `env::{member}` outside sanctioned config \
+                             modules; thread configuration through explicit parameters"
+                        ),
+                    ));
+                }
+            }
+            "unsafe" => unsafe_lines.push(token.line),
+            _ => {}
+        }
+    }
+
+    // D004: inventoried files must carry *exactly* the pinned count, so a
+    // removed unsafe block forces the inventory (and the rationale next
+    // to it) to be updated too.
+    match d004_expected {
+        Some(expected) => {
+            if unsafe_lines.len() != expected {
+                let line = unsafe_lines.first().copied().unwrap_or(1);
+                findings.push(Violation::new(
+                    rel_path,
+                    line,
+                    "D004",
+                    format!(
+                        "`unsafe` count drifted from the D004 inventory: found {}, \
+                         detlint.toml pins {expected}; re-audit and update the inventory",
+                        unsafe_lines.len()
+                    ),
+                ));
+            }
+        }
+        None => {
+            for line in unsafe_lines {
+                findings.push(Violation::new(
+                    rel_path,
+                    line,
+                    "D004",
+                    "`unsafe` outside the inventoried signal-handler site; \
+                     the workspace libraries are `forbid(unsafe_code)`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // Apply suppressions line-by-line.
+    for finding in findings {
+        let mut suppressed = false;
+        for (p, used) in pragmas.iter_mut() {
+            if p.applies_to == finding.line && p.rules.iter().any(|r| r == finding.rule) {
+                *used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            violations.push(finding);
+        }
+    }
+
+    // A pragma that excused nothing is stale — that is itself a finding,
+    // so suppressions cannot outlive the hazards they were written for.
+    for (p, used) in pragmas {
+        if !used {
+            violations.push(Violation::new(
+                rel_path,
+                p.line,
+                "D005",
+                format!(
+                    "unused detlint pragma (allow({}) suppressed no finding on line {}); \
+                     remove it or move it next to the hazard it excuses",
+                    p.rules.join(", "),
+                    p.applies_to
+                ),
+            ));
+        }
+    }
+
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
+
+/// Does `tokens[i]` (an ident) begin the sequence `X :: now`?
+fn followed_by_now(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    matches!(
+        (
+            tokens.get(i + 1).map(|t| &t.kind),
+            tokens.get(i + 2).map(|t| &t.kind),
+            tokens.get(i + 3).map(|t| &t.kind),
+        ),
+        (
+            Some(TokenKind::Punct(':')),
+            Some(TokenKind::Punct(':')),
+            Some(TokenKind::Ident(name)),
+        ) if name == "now"
+    )
+}
+
+/// If `tokens[i]` is `env` in `env :: member` with `member` an
+/// environment read, returns the member name.
+fn env_member(tokens: &[crate::lexer::Token], i: usize) -> Option<&str> {
+    match (
+        tokens.get(i + 1).map(|t| &t.kind),
+        tokens.get(i + 2).map(|t| &t.kind),
+        tokens.get(i + 3).map(|t| &t.kind),
+    ) {
+        (
+            Some(TokenKind::Punct(':')),
+            Some(TokenKind::Punct(':')),
+            Some(TokenKind::Ident(name)),
+        ) if ENV_READS.contains(&name.as_str()) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scoped_config() -> Config {
+        Config {
+            exclude: vec![],
+            d001_paths: vec!["rng/".to_string()],
+            d002_allow: vec!["timing/clock.rs".to_string()],
+            d003_allow: vec!["config/env.rs".to_string()],
+            d004_inventory: vec![("bin/daemon.rs".to_string(), 1)],
+        }
+    }
+
+    fn rules_fired(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        check_file(path, src, &scoped_config())
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_only_on_scoped_paths() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();";
+        assert_eq!(
+            rules_fired("rng/graph.rs", src),
+            vec![("D001", 1), ("D001", 2), ("D001", 2)]
+        );
+        assert!(rules_fired("other/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_catches_clocks_and_entropy_but_respects_sanctioned_modules() {
+        let src = "let t = Instant::now();\nlet st = SystemTime::now();\nlet r = thread_rng();\nuse rand::rngs::OsRng;\nlet x = StdRng::from_entropy();";
+        assert_eq!(
+            rules_fired("rng/scenario.rs", src),
+            vec![
+                ("D002", 1),
+                ("D002", 2),
+                ("D002", 3),
+                ("D002", 4),
+                ("D002", 5)
+            ]
+        );
+        assert!(rules_fired("timing/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_requires_the_now_call_for_clock_types() {
+        // Mentioning the type (e.g. storing a Duration since an Instant
+        // passed in from a sanctioned module) is fine.
+        let src = "fn record(started: Instant) -> Duration { started.elapsed() }";
+        assert!(rules_fired("rng/scenario.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d003_catches_env_reads_everywhere_but_sanctioned_modules() {
+        let src = "let v = std::env::var(\"X\");\nlet w = env::var_os(\"Y\");\nstd::env::set_var(\"Z\", \"1\");";
+        assert_eq!(
+            rules_fired("anywhere.rs", src),
+            vec![("D003", 1), ("D003", 2), ("D003", 3)]
+        );
+        assert!(rules_fired("config/env.rs", src).is_empty());
+        // Non-reading members are fine.
+        assert!(rules_fired("anywhere.rs", "let d = std::env::temp_dir();").is_empty());
+        assert!(rules_fired(
+            "anywhere.rs",
+            "let a: Vec<String> = std::env::args().collect();"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d004_flags_unsafe_outside_the_inventory_and_count_drift_inside() {
+        assert_eq!(
+            rules_fired("lib/code.rs", "unsafe { do_thing() }"),
+            vec![("D004", 1)]
+        );
+        // Inventoried file with the pinned count: clean.
+        assert!(rules_fired("bin/daemon.rs", "unsafe { signal(2, h) }").is_empty());
+        // Inventoried file that grew a second unsafe block: drift.
+        assert_eq!(
+            rules_fired("bin/daemon.rs", "unsafe { a() }\nunsafe { b() }"),
+            vec![("D004", 1)]
+        );
+        // Inventoried file that lost its unsafe block: stale inventory.
+        assert_eq!(
+            rules_fired("bin/daemon.rs", "fn safe() {}"),
+            vec![("D004", 1)]
+        );
+    }
+
+    #[test]
+    fn occurrences_in_comments_and_strings_never_fire() {
+        let src = "// HashMap thread_rng unsafe env::var\nlet s = \"HashMap unsafe\";\n/* SystemTime::now */";
+        assert!(rules_fired("rng/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_its_line() {
+        let src = "let m = HashMap::new(); // detlint: allow(D001) reason=\"membership-only\"";
+        assert!(rules_fired("rng/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn own_line_pragma_suppresses_the_next_line() {
+        let src =
+            "// detlint: allow(D001) reason=\"membership-only index\"\nlet m = HashMap::new();";
+        assert!(rules_fired("rng/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_does_not_bleed_past_its_line() {
+        let src = "// detlint: allow(D001) reason=\"only the next line\"\nlet a = HashMap::new();\nlet b = HashSet::new();";
+        assert_eq!(rules_fired("rng/graph.rs", src), vec![("D001", 3)]);
+    }
+
+    #[test]
+    fn reasonless_pragma_is_a_violation_and_suppresses_nothing() {
+        let src = "let m = HashMap::new(); // detlint: allow(D001)";
+        assert_eq!(
+            rules_fired("rng/graph.rs", src),
+            vec![("D001", 1), ("D005", 1)]
+        );
+    }
+
+    #[test]
+    fn unused_pragma_is_a_violation() {
+        let src = "// detlint: allow(D001) reason=\"stale\"\nlet x = 1;";
+        assert_eq!(rules_fired("rng/graph.rs", src), vec![("D005", 1)]);
+    }
+
+    #[test]
+    fn pragma_only_suppresses_its_listed_rules() {
+        let src = "let m = HashMap::new(); // detlint: allow(D002) reason=\"wrong rule\"";
+        // D001 still fires, and the D002 pragma is unused.
+        assert_eq!(
+            rules_fired("rng/graph.rs", src),
+            vec![("D001", 1), ("D005", 1)]
+        );
+    }
+
+    #[test]
+    fn pragma_inside_a_string_is_not_a_pragma() {
+        let src =
+            "let s = \"// detlint: allow(D001) reason=\\\"nope\\\"\";\nlet m = HashMap::new();";
+        assert_eq!(rules_fired("rng/graph.rs", src), vec![("D001", 2)]);
+    }
+}

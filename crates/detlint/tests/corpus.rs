@@ -1,0 +1,152 @@
+//! Known-bad fixture corpus pinning every rule firing at an expected
+//! `file:line`.
+//!
+//! Each fixture under `tests/fixtures/` annotates its own expectations:
+//! a `//~ D00N [D00N...]` marker lists the firings expected on *that*
+//! line, and `//~v D00N [D00N...]` (on its own line) the firings
+//! expected on the *next* line — used where the line under test already
+//! carries a pragma comment. Fixtures are excluded from the workspace
+//! scan by `detlint.toml`, so the hazards they contain never leak into
+//! the self-run check.
+
+use std::path::{Path, PathBuf};
+
+use detlint::config::Config;
+use detlint::rules::check_file;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The corpus config: D001 scoped to the fixtures, no exemptions, no
+/// unsafe inventory — every hazard is in scope.
+fn corpus_config() -> Config {
+    let mut config = Config::default();
+    config.d001_paths.push("fixtures/".to_string());
+    config
+}
+
+/// Extracts `(line, rule)` expectations from a fixture's markers.
+fn expectations(source: &str) -> Vec<(u32, String)> {
+    let mut expected = Vec::new();
+    for (idx, text) in source.lines().enumerate() {
+        let Some(pos) = text.find("//~") else {
+            continue;
+        };
+        let rest = &text[pos + 3..];
+        let (line, spec) = match rest.strip_prefix('v') {
+            Some(next_line_spec) => (idx as u32 + 2, next_line_spec),
+            None => (idx as u32 + 1, rest),
+        };
+        for rule in spec.split_whitespace() {
+            assert!(
+                detlint::RULE_IDS.contains(&rule),
+                "bad marker token {rule:?} in fixture"
+            );
+            expected.push((line, rule.to_string()));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+/// Runs one fixture and compares the full `(line, rule)` multiset plus
+/// the rendered diagnostic prefix against the inline markers.
+fn run_fixture(name: &str) {
+    let source = std::fs::read_to_string(fixture_path(name)).expect("fixture readable");
+    let rel = format!("fixtures/{name}");
+    let mut got: Vec<(u32, String)> = check_file(&rel, &source, &corpus_config())
+        .into_iter()
+        .map(|v| {
+            let rendered = v.to_string();
+            assert!(
+                rendered.starts_with(&format!("{rel}:{}: {} ", v.line, v.rule)),
+                "diagnostic must render as file:line: RULE message, got {rendered:?}"
+            );
+            (v.line, v.rule.to_string())
+        })
+        .collect();
+    got.sort();
+    assert_eq!(got, expectations(&source), "fixture {name}");
+}
+
+#[test]
+fn d001_hash_containers() {
+    run_fixture("d001_hash_containers.rs");
+}
+
+#[test]
+fn d002_time_and_entropy() {
+    run_fixture("d002_time_and_entropy.rs");
+}
+
+#[test]
+fn d003_env_reads() {
+    run_fixture("d003_env_reads.rs");
+}
+
+#[test]
+fn d004_unsafe() {
+    run_fixture("d004_unsafe.rs");
+}
+
+#[test]
+fn pragmas() {
+    run_fixture("pragmas.rs");
+}
+
+#[test]
+fn clean_file_reports_nothing() {
+    run_fixture("clean.rs"); // no markers -> expectation is empty
+}
+
+#[test]
+fn d004_inventory_pins_exact_counts() {
+    let rel = "fixtures/d004_unsafe.rs";
+    let source = std::fs::read_to_string(fixture_path("d004_unsafe.rs")).expect("fixture");
+    let mut config = corpus_config();
+
+    // The right count: the file is fully accounted for.
+    config.d004_inventory.push((rel.to_string(), 2));
+    assert_eq!(check_file(rel, &source, &config), vec![]);
+
+    // A drifted count (in either direction) is exactly one finding.
+    config.d004_inventory[0].1 = 1;
+    let drifted = check_file(rel, &source, &config);
+    assert_eq!(drifted.len(), 1);
+    assert_eq!(drifted[0].rule, "D004");
+    assert!(drifted[0].message.contains("drifted"), "{}", drifted[0]);
+}
+
+#[test]
+fn d002_and_d003_allow_lists_exempt_whole_files() {
+    let mut config = corpus_config();
+    config
+        .d002_allow
+        .push("fixtures/d002_time_and_entropy.rs".to_string());
+    config
+        .d003_allow
+        .push("fixtures/d003_env_reads.rs".to_string());
+    for name in ["d002_time_and_entropy.rs", "d003_env_reads.rs"] {
+        let source = std::fs::read_to_string(fixture_path(name)).expect("fixture");
+        assert_eq!(
+            check_file(&format!("fixtures/{name}"), &source, &config),
+            vec![],
+            "{name} must be fully exempted by its allow entry"
+        );
+    }
+}
+
+#[test]
+fn d001_does_not_apply_off_the_scoped_paths() {
+    let source = std::fs::read_to_string(fixture_path("d001_hash_containers.rs")).expect("fixture");
+    // Same file, but addressed outside every [rules.D001] path prefix.
+    let config = corpus_config();
+    assert_eq!(
+        check_file("elsewhere/d001_hash_containers.rs", &source, &config),
+        vec![],
+        "hash containers are only a finding on RNG-adjacent paths"
+    );
+}

@@ -1,0 +1,23 @@
+//! A tricky but clean file: every hazard mention below sits inside a
+//! comment, string, raw string or char literal, so detlint must report
+//! nothing at all. Doc text may even show the pragma syntax:
+//! `// detlint: allow(D001) reason="docs"`.
+
+fn lifetimes_and_chars<'a>(x: &'a str) -> (&'a str, char, char) {
+    (x, 'u', '\u{41}')
+}
+
+fn strings() -> Vec<String> {
+    vec![
+        "HashMap HashSet unsafe".to_string(),
+        "SystemTime::now Instant::now thread_rng OsRng".to_string(),
+        "env::var env::set_var".to_string(),
+        r#"raw: HashMap unsafe"#.to_string(),
+        r##"raw with "# inside: thread_rng"##.to_string(),
+        "// detlint: allow(D001) reason=\"inert\"".to_string(),
+        String::from_utf8_lossy(b"byte string: HashMap").into_owned(),
+    ]
+}
+
+/* Block comments nest: /* HashMap unsafe env::var */ still a comment. */
+fn done() {}

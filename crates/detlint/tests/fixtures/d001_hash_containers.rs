@@ -1,0 +1,20 @@
+// D001 corpus: hash containers on an RNG-adjacent path. Each rule id
+// in a marker comment is one expected firing on that line.
+use std::collections::HashMap; //~ D001
+use std::collections::{BTreeMap, HashSet}; //~ D001
+
+fn build_tables() {
+    let mut index: HashMap<u64, u64> = HashMap::new(); //~ D001 D001
+    let mut seen: HashSet<u64> = HashSet::new(); //~ D001 D001
+    index.insert(1, 2);
+    seen.insert(3);
+    let ordered: BTreeMap<u64, u64> = BTreeMap::new();
+    let _ = (index, seen, ordered);
+}
+
+// Mentions that must NOT fire:
+// HashMap in a line comment.
+/* HashSet in a block comment. */
+fn clean_mentions() -> &'static str {
+    "HashMap and HashSet in a string"
+}

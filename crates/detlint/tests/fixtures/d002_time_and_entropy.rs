@@ -1,0 +1,19 @@
+// D002 corpus: wall-clock and OS-entropy sources.
+use rand::rngs::OsRng; //~ D002
+
+fn timing() {
+    let _wall = std::time::SystemTime::now(); //~ D002
+    let _mono = std::time::Instant::now(); //~ D002
+}
+
+fn entropy() {
+    let _ambient = rand::thread_rng(); //~ D002
+    let _unseeded = StdRng::from_entropy(); //~ D002
+}
+
+// `Instant` without `::now` must not fire, nor mentions in text:
+// SystemTime::now, thread_rng.
+fn clean(instant: Instant) -> Instant {
+    let _text = "Instant::now OsRng from_entropy";
+    instant
+}

@@ -1,0 +1,19 @@
+// D003 corpus: process-environment access.
+fn read_environment() {
+    let _a = std::env::var("ONIONBOTS_SEED"); //~ D003
+    let _b = std::env::var_os("ONIONBOTS_SEED"); //~ D003
+    let _n = std::env::vars().count(); //~ D003
+    let _m = std::env::vars_os().count(); //~ D003
+}
+
+fn write_environment() {
+    std::env::set_var("ONIONBOTS_SEED", "1"); //~ D003
+    std::env::remove_var("ONIONBOTS_SEED"); //~ D003
+}
+
+// `env` not followed by a read member must not fire, nor text mentions:
+// env::var in a comment.
+fn clean(env: &str) -> usize {
+    let _text = "env::var env::set_var";
+    env.len()
+}

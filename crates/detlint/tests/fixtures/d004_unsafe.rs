@@ -1,0 +1,21 @@
+// D004 corpus: `unsafe` outside any inventory — each token is one
+// finding. The corpus test also replays this file with an inventory
+// pinning the exact count (no findings) and a drifted count (one
+// drift finding).
+static mut COUNTER: u64 = 0;
+
+fn bump() -> u64 {
+    unsafe { //~ D004
+        COUNTER += 1;
+        COUNTER
+    }
+}
+
+unsafe fn raw_read(p: *const u64) -> u64 { //~ D004
+    *p
+}
+
+// Mentions that must NOT fire: unsafe in a comment.
+fn clean_mention() -> &'static str {
+    "unsafe in a string"
+}

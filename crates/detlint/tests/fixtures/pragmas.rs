@@ -1,0 +1,37 @@
+// Pragma corpus: suppression, misuse and hygiene (rule D005).
+use std::collections::HashMap; // detlint: allow(D001) reason="corpus: justified trailing pragma on an import"
+
+fn suppressed_by_own_line_pragma() {
+    // detlint: allow(D001) reason="corpus: own-line pragma covers the next line"
+    let _m: HashMap<u8, u8> = HashMap::new();
+}
+
+fn unsuppressed() {
+    let _m: HashMap<u8, u8> = std::collections::HashMap::new(); //~ D001 D001
+}
+
+fn wrong_rule_suppresses_nothing() {
+    //~v D001 D005
+    let _s = HashSet::new(); // detlint: allow(D002) reason="corpus: wrong rule id"
+}
+
+//~v D005
+// detlint: allow(D001) reason="corpus: unused pragma on a hazard-free line"
+fn hazard_free() {}
+
+//~v D005
+// detlint: allow(D001)
+fn missing_reason() {}
+
+//~v D005
+// detlint: allow(D999) reason="corpus: unknown rule id"
+fn unknown_rule() {}
+
+fn inert_mentions() -> &'static str {
+    // A pragma inside a string literal is text, not a pragma:
+    "// detlint: allow(D001) reason=\"inert\""
+}
+
+/// Doc comments may quote the syntax freely:
+/// `// detlint: allow(D001) reason="docs"`.
+fn documented() {}

@@ -1,0 +1,145 @@
+//! Property tests for the lexer/pragma layer: randomized *structural*
+//! composition of line-sized segments (code, comments, strings, raw
+//! strings, pragmas), since the vendored proptest stub has no string
+//! strategies.
+//!
+//! The properties are the ones the rule engine leans on:
+//! * hazard identifiers are counted only when they are code — never
+//!   from comments, strings, raw strings or doc text;
+//! * pragmas parse exactly when a comment starts with the marker, so
+//!   quoting the syntax in strings or doc comments is inert;
+//! * token and comment line numbers are monotone non-decreasing, and
+//!   the lexer never panics on any segment composition.
+
+use detlint::lexer::{lex, TokenKind};
+use detlint::pragma;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One line-sized building block: what it contributes to the source and
+/// what the lexer must make of it.
+struct Segment {
+    text: &'static str,
+    /// `HashMap` idents the lexer must produce for this line.
+    hashmap_idents: usize,
+    /// Valid pragmas the pragma parser must accept on this line.
+    pragmas: usize,
+}
+
+const SEGMENTS: [Segment; 8] = [
+    Segment {
+        text: "let HashMap = HashMap;\n",
+        hashmap_idents: 2,
+        pragmas: 0,
+    },
+    Segment {
+        text: "// HashMap thread_rng unsafe\n",
+        hashmap_idents: 0,
+        pragmas: 0,
+    },
+    Segment {
+        text: "/* HashMap /* nested unsafe */ tail */\n",
+        hashmap_idents: 0,
+        pragmas: 0,
+    },
+    Segment {
+        text: "let s = \"HashMap detlint: allow(D001) reason=\\\"x\\\"\";\n",
+        hashmap_idents: 0,
+        pragmas: 0,
+    },
+    Segment {
+        text: "let r = r##\"HashMap \"# unsafe\"##;\n",
+        hashmap_idents: 0,
+        pragmas: 0,
+    },
+    Segment {
+        text: "let c = 'H'; // detlint: allow(D001) reason=\"p\"\n",
+        hashmap_idents: 0,
+        pragmas: 1,
+    },
+    Segment {
+        text: "//! doc detlint: allow(D001) reason=\"quoted, inert\"\n",
+        hashmap_idents: 0,
+        pragmas: 0,
+    },
+    Segment {
+        text: "fn f<'a>(x: &'a str) -> &'a str { x }\n",
+        hashmap_idents: 0,
+        pragmas: 0,
+    },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hazard_idents_come_only_from_code(picks in vec(0usize..SEGMENTS.len(), 0..24usize)) {
+        let mut source = String::new();
+        let mut expected_idents = 0;
+        let mut expected_pragmas = 0;
+        for &p in &picks {
+            source.push_str(SEGMENTS[p].text);
+            expected_idents += SEGMENTS[p].hashmap_idents;
+            expected_pragmas += SEGMENTS[p].pragmas;
+        }
+
+        let lexed = lex(&source);
+        let hashmaps = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokenKind::Ident(name) if name == "HashMap"))
+            .count();
+        prop_assert_eq!(hashmaps, expected_idents, "source:\n{}", source);
+
+        let mut valid = 0;
+        for comment in &lexed.comments {
+            match pragma::parse(comment) {
+                Some(Ok(p)) => {
+                    valid += 1;
+                    prop_assert_eq!(&p.rules, &vec!["D001".to_string()]);
+                    prop_assert!(!p.reason.is_empty());
+                }
+                Some(Err(e)) => prop_assert!(false, "unexpected malformed pragma: {}", e),
+                None => {}
+            }
+        }
+        prop_assert_eq!(valid, expected_pragmas, "source:\n{}", source);
+    }
+
+    #[test]
+    fn line_numbers_are_monotone_and_in_range(picks in vec(0usize..SEGMENTS.len(), 0..24usize)) {
+        let source: String = picks.iter().map(|&p| SEGMENTS[p].text).collect();
+        let lexed = lex(&source);
+        let line_count = source.lines().count() as u32;
+        let mut last = 1;
+        for token in &lexed.tokens {
+            prop_assert!(token.line >= last, "tokens must not go backwards");
+            prop_assert!(token.line <= line_count.max(1));
+            last = token.line;
+        }
+        let mut last = 1;
+        for comment in &lexed.comments {
+            prop_assert!(comment.line >= last);
+            prop_assert!(comment.end_line >= comment.line);
+            prop_assert!(comment.line <= line_count.max(1));
+            last = comment.line;
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_soup(bytes in vec(0usize..ALPHABET.len(), 0..80usize)) {
+        // Adversarial character soup over the delimiters the lexer cares
+        // about: quotes, hashes, slashes, stars, backslashes, newlines.
+        let source: String = bytes.iter().map(|&b| ALPHABET[b]).collect();
+        let lexed = lex(&source);
+        // No token can claim a line past the end of the source.
+        let line_count = source.lines().count().max(1) as u32;
+        for token in &lexed.tokens {
+            prop_assert!(token.line <= line_count);
+        }
+    }
+}
+
+const ALPHABET: [char; 16] = [
+    '"', '\'', '/', '*', '#', 'r', 'b', '\\', '\n', ' ', 'H', 'a', ':', '(', ')', '!',
+];

@@ -1,0 +1,28 @@
+//! The lint must hold on the workspace that ships it: this is the same
+//! check CI runs as `cargo run -p detlint -- --deny`, expressed as a
+//! test so `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_checked_in_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("detlint lives two levels under the workspace root");
+    assert!(
+        root.join("detlint.toml").is_file(),
+        "workspace root must carry detlint.toml"
+    );
+    let config = detlint::load_config(root).expect("checked-in detlint.toml must parse");
+    let violations = detlint::run_workspace(root, &config).expect("scan must complete");
+    assert!(
+        violations.is_empty(),
+        "workspace must be detlint-clean:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -30,7 +30,7 @@
 //! is byte-identical across backends and worker counts — and a future
 //! remote backend only has to speak the same one-line-JSON protocol.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
@@ -753,8 +753,8 @@ pub fn plan_work_items(
 /// # Panics
 /// Panics when two scenarios share an id (the registry already rejects
 /// this; direct `Runner` callers get the same contract).
-pub fn index_by_id(scenarios: &[Arc<dyn Scenario>]) -> HashMap<String, usize> {
-    let mut by_id = HashMap::new();
+pub fn index_by_id(scenarios: &[Arc<dyn Scenario>]) -> BTreeMap<String, usize> {
+    let mut by_id = BTreeMap::new();
     for (idx, scenario) in scenarios.iter().enumerate() {
         let previous = by_id.insert(scenario.id().to_string(), idx);
         assert!(

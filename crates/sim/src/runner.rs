@@ -408,7 +408,7 @@ impl Runner {
         // ledger for the backend's answers; the (scenario, part) echo is
         // remembered alongside it so a mislabeled result cannot slip
         // through on a valid fingerprint.
-        let mut awaited: std::collections::HashMap<String, (String, usize)> = pending
+        let mut awaited: std::collections::BTreeMap<String, (String, usize)> = pending
             .iter()
             .map(|item| {
                 (

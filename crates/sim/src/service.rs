@@ -37,6 +37,12 @@
 //! job still runs to completion, so the shared cache is warmed, never
 //! poisoned.
 
+// The daemon must never die on a recoverable condition (the doc block
+// above promises exactly that), so panicking extractors are banned in
+// this module; the test module below opts back in, where a panic *is*
+// the failure report.
+#![deny(clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
@@ -820,6 +826,7 @@ pub fn summary_parts(outcomes: &[ScenarioOutcome]) -> usize {
 }
 
 #[cfg(all(test, unix))]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::experiment::{ExperimentReport, Series};

@@ -14,7 +14,7 @@
 //! * every payload is moved in fixed-size cells and counted, so experiments
 //!   can report traffic volumes without ever inspecting contents.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -59,20 +59,26 @@ struct ServiceState {
 /// thousands of bots resolvable without generating an RSA service key per
 /// bot per period; protocol-level tests use full
 /// [`HiddenServiceDescriptor`]s instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Announcement {
     onion: OnionAddress,
     descriptor: DescriptorId,
 }
 
 /// The in-process simulated Tor network.
+///
+/// Directory and service state live in ordered maps (detlint rule D001):
+/// today every access is a point lookup, but the moment someone iterates
+/// one of these — say to sweep expired descriptors — hash order would
+/// leak into delivery order and break seed replay, so the ordering is
+/// pinned at the type.
 #[derive(Debug)]
 pub struct TorNetwork {
     consensus: Consensus,
     time_secs: u64,
-    hsdir_storage: HashMap<Fingerprint, HashMap<DescriptorId, HiddenServiceDescriptor>>,
-    announcements: HashMap<Fingerprint, std::collections::HashSet<Announcement>>,
-    services: HashMap<OnionAddress, ServiceState>,
+    hsdir_storage: BTreeMap<Fingerprint, BTreeMap<DescriptorId, HiddenServiceDescriptor>>,
+    announcements: BTreeMap<Fingerprint, BTreeSet<Announcement>>,
+    services: BTreeMap<OnionAddress, ServiceState>,
     stats: NetworkStats,
     next_circuit_id: u32,
 }
@@ -83,9 +89,9 @@ impl TorNetwork {
         TorNetwork {
             consensus: Consensus::bootstrap(relay_count, rng),
             time_secs: 0,
-            hsdir_storage: HashMap::new(),
-            announcements: HashMap::new(),
-            services: HashMap::new(),
+            hsdir_storage: BTreeMap::new(),
+            announcements: BTreeMap::new(),
+            services: BTreeMap::new(),
             stats: NetworkStats::default(),
             next_circuit_id: 1,
         }

@@ -10,7 +10,7 @@ use onionbots::crypto::elligator::{UniformEncoder, UNIFORM_CELL_LEN};
 use onionbots::crypto::kdf::derive_link_key;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 #[test]
 fn every_wire_message_has_the_same_size_regardless_of_content() {
@@ -33,7 +33,7 @@ fn every_wire_message_has_the_same_size_regardless_of_content() {
             0,
         ),
     ];
-    let mut sizes = HashSet::new();
+    let mut sizes = BTreeSet::new();
     for cmd in &commands {
         let cell = cmd.to_cell(&encoder, &mut rng).unwrap();
         sizes.insert(cell.len());
