@@ -1,14 +1,22 @@
-//! `scale` — churn sweeps at 10^4–10^6 nodes on the slab graph core.
+//! `scale` — churn sweeps at 10^4–10^7 nodes on the slab graph core.
 //!
 //! Not a paper figure: this scenario is the million-node proving ground the
 //! ROADMAP's north star asks for. Each part builds a k-regular overlay at
-//! one population size and then drives it through takedown *waves*: every
-//! wave removes a fixed fraction of the surviving population in one
-//! [`DdsrOverlay::remove_nodes`] batch (coalesced repair, single prune
-//! pass), the fig4/fig5-style churn pattern at populations the per-victim
-//! path could not sustain. Robustness (largest-component fraction),
-//! degree discipline and cumulative repair work are sampled after every
-//! wave; a sampled diameter estimate closes each part.
+//! one population size over a fixed [`ShardGrid`]
+//! ([`DdsrOverlay::new_regular_sharded`]: per-shard pairing-model streams
+//! split from the part seed, deterministic ascending-shard merge) and then
+//! drives it through takedown *waves*: every wave removes a fixed fraction
+//! of the surviving population in one
+//! [`DdsrOverlay::remove_nodes_sharded`] batch (shard-partitioned
+//! coalesced repair and prune planning, sequential reconciliation), the
+//! fig4/fig5-style churn pattern at populations the per-victim path could
+//! not sustain. Worker threads steal shards under the ambient thread
+//! budget — `--threads-per-item` now governs construction and repair
+//! fan-out, and output stays byte-identical at any thread count because
+//! the grid, not the machine, defines the RNG streams. Robustness
+//! (largest-component fraction), degree discipline and cumulative repair
+//! work are sampled after every wave; a sampled diameter estimate closes
+//! each part.
 //!
 //! Like every registered scenario its parts are cache-eligible: reports
 //! are deterministic for a fixed `(seed, scale, overrides)` triple, and
@@ -17,13 +25,15 @@
 //!
 //! ```text
 //! run_experiments --only scale                      # 10^4 and 3·10^4 nodes
-//! run_experiments --only scale --scale full         # 10^4, 10^5 and 10^6
+//! run_experiments --only scale --scale full         # 10^4 .. 10^7
 //! run_experiments --only scale --set n=2000 --set waves=4   # custom sweep
+//! run_experiments --only scale --set shards=8       # coarser shard grid
 //! ```
 
 use onion_graph::components::largest_component_fraction;
 use onion_graph::graph::NodeId;
 use onion_graph::metrics::sampled_diameter;
+use onionbots_core::shard::{ShardGrid, DEFAULT_SHARDS};
 use onionbots_core::{DdsrConfig, DdsrOverlay};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -34,9 +44,10 @@ use crate::Scale;
 
 /// Population sizes per part at quick scale.
 const QUICK_SIZES: [usize; 2] = [10_000, 30_000];
-/// Population sizes per part at full scale — the last part is the
-/// million-node run the slab core exists for.
-const FULL_SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+/// Population sizes per part at full scale — the 10^6 row is the run the
+/// slab core exists for; the 10^7 row is the stretch row sharded
+/// construction opened up (expect minutes, not hours).
+const FULL_SIZES: [usize; 4] = [10_000, 100_000, 1_000_000, 10_000_000];
 
 /// The registered `scale` scenario.
 pub struct ScaleChurn;
@@ -60,11 +71,18 @@ impl Scenario for ScaleChurn {
     }
 
     fn title(&self) -> &str {
-        "Scale — batched takedown waves at 10^4-10^6 nodes (slab graph core)"
+        "Scale — batched takedown waves at 10^4-10^7 nodes (sharded slab graph core)"
     }
 
     fn override_keys(&self) -> Option<Vec<&str>> {
-        Some(vec!["n", "k", "waves", "wave-frac", "diameter-samples"])
+        Some(vec![
+            "n",
+            "k",
+            "waves",
+            "wave-frac",
+            "diameter-samples",
+            "shards",
+        ])
     }
 
     fn parts(&self, params: &ScenarioParams) -> usize {
@@ -82,9 +100,15 @@ impl Scenario for ScaleChurn {
         let waves = params.override_usize("waves", 10);
         let wave_frac = params.override_f64("wave-frac", 0.05);
         let diameter_samples = params.override_usize("diameter-samples", 16);
+        let shards = params.override_usize("shards", DEFAULT_SHARDS);
         let label = format!("n={n}");
 
-        let (mut overlay, _ids) = DdsrOverlay::new_regular(n, k, DdsrConfig::for_degree(k), rng);
+        // The fixed logical grid defines the per-shard RNG streams; worker
+        // threads (the `--threads-per-item` budget) merely steal shards,
+        // so reports are byte-identical at any thread count.
+        let grid = ShardGrid::new(n, k, shards);
+        let (mut overlay, _ids) =
+            DdsrOverlay::new_regular_sharded(n, k, DdsrConfig::for_degree(k), &grid, rng);
 
         let mut x = vec![0.0f64];
         let mut robustness = vec![largest_component_fraction(overlay.graph())];
@@ -99,7 +123,7 @@ impl Scenario for ScaleChurn {
                 .max(1)
                 .min(live.len() - 1);
             let victims: Vec<NodeId> = live.choose_multiple(rng, wave_size).copied().collect();
-            overlay.remove_nodes(&victims, rng);
+            overlay.remove_nodes_sharded(&victims, &grid, rng);
             x.push(wave as f64);
             robustness.push(largest_component_fraction(overlay.graph()));
             max_degree.push(overlay.graph().max_degree() as f64);

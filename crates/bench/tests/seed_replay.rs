@@ -18,7 +18,11 @@
 use botnet::messages::CommandKind;
 use botnet::observer::WireObserver;
 use botnet::BotnetSimulation;
+use onion_graph::budget::with_thread_budget;
+use onion_graph::graph::NodeId;
 use onionbots_bench::scenarios;
+use onionbots_core::shard::ShardGrid;
+use onionbots_core::{DdsrConfig, DdsrOverlay};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim::scenario_api::ScenarioParams;
@@ -103,6 +107,56 @@ fn botnet_simulation_replays_byte_identically_for_a_fixed_seed() {
         drive_botnet(8),
         "different seeds must actually exercise the RNG"
     );
+}
+
+/// Drives the PR 8 sharded overlay lifecycle — sharded k-regular
+/// construction over a fixed grid, then two takedown waves through the
+/// partitioned repair path — under a given worker-thread budget, and
+/// flattens everything observable into one string.
+fn drive_sharded_overlay(seed: u64, budget: usize) -> String {
+    with_thread_budget(budget, || {
+        let (n, k) = (3_000usize, 10usize);
+        let grid = ShardGrid::new(n, k, 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut overlay, ids) =
+            DdsrOverlay::new_regular_sharded(n, k, DdsrConfig::for_degree(k), &grid, &mut rng);
+        let mut waves = Vec::new();
+        for wave in 0..2 {
+            let victims: Vec<NodeId> = ids.iter().copied().skip(wave * 150).take(150).collect();
+            waves.push(overlay.remove_nodes_sharded(&victims, &grid, &mut rng));
+        }
+        format!(
+            "waves={waves:?}|stats={:?}|graph={:?}",
+            overlay.stats(),
+            overlay.graph()
+        )
+    })
+}
+
+#[test]
+fn sharded_overlay_replays_byte_identically_for_a_fixed_seed() {
+    assert_eq!(
+        drive_sharded_overlay(2015, 1),
+        drive_sharded_overlay(2015, 1),
+        "same seed must reproduce the sharded build and both waves"
+    );
+    assert_ne!(
+        drive_sharded_overlay(2015, 1),
+        drive_sharded_overlay(2016, 1),
+        "different seeds must actually exercise the shard streams"
+    );
+}
+
+#[test]
+fn sharded_overlay_is_invariant_to_the_worker_thread_budget() {
+    let reference = drive_sharded_overlay(2015, 1);
+    for budget in [2usize, 4, 8] {
+        assert_eq!(
+            drive_sharded_overlay(2015, budget),
+            reference,
+            "shard workers must steal work, not shape output (budget={budget})"
+        );
+    }
 }
 
 #[test]

@@ -78,6 +78,11 @@ fn d001_hash_containers() {
 }
 
 #[test]
+fn d001_shard_rng_split() {
+    run_fixture("d001_shard_rng_split.rs");
+}
+
+#[test]
 fn d002_time_and_entropy() {
     run_fixture("d002_time_and_entropy.rs");
 }

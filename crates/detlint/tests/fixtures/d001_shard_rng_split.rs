@@ -1,0 +1,43 @@
+// Corpus for the sharded-overlay RNG-splitting discipline
+// (`onionbots-core::shard`, DESIGN.md § "Sharded overlay"): per-shard
+// streams are seeded via `shard_stream_seed(base, shard)` where `base`
+// is ONE draw from the sequential part stream — the shard index, never
+// the worker thread, keys the stream. This fixture pins that the lint
+// rejects the two tempting shortcuts on a shard path and stays quiet on
+// the sanctioned idiom.
+
+// Shortcut 1: hash-ordered bookkeeping for shard-local state. Iteration
+// order would feed the merge pass, so D001 fires like anywhere else on
+// an RNG-adjacent path.
+use std::collections::HashMap; //~ D001
+
+fn shard_buckets() {
+    let mut per_shard: HashMap<usize, Vec<u64>> = HashMap::new(); //~ D001 D001
+    per_shard.entry(0).or_default().push(1);
+    let _ = per_shard;
+}
+
+// Shortcut 2: seeding a shard worker from wall clock or OS entropy
+// instead of splitting from the part stream — byte-identity across
+// thread counts dies instantly.
+fn shard_worker_seed_from_ambient_entropy() {
+    let _wall = std::time::Instant::now(); //~ D002
+    let _ambient = rand::thread_rng(); //~ D002
+}
+
+// The sanctioned idiom: derive each shard's seed from one drawn base
+// with a pure mix, then seed a fresh StdRng per shard. No findings.
+fn sanctioned_split(base: u64, shards: usize) {
+    for shard in 0..shards {
+        let seed = shard_stream_seed(base, shard);
+        let rng = StdRng::seed_from_u64(seed);
+        let _ = rng;
+    }
+}
+
+fn shard_stream_seed(base: u64, shard: usize) -> u64 {
+    let mut z = base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -216,6 +216,167 @@ impl Graph {
         Some(neighbors)
     }
 
+    /// Inserts a batch of undirected edges with **deferred sorting**:
+    /// every half-edge is appended first and each touched neighbor list is
+    /// sorted and merged exactly once, instead of paying a binary search
+    /// plus `Vec::insert` shift per edge the way [`add_edge`](Self::add_edge)
+    /// does. Self loops, edges touching absent nodes, duplicates within the
+    /// batch and edges that already exist are all skipped, so the resulting
+    /// graph is exactly the one a sequential `add_edge` loop over `edges`
+    /// produces. Returns the number of edges actually added (the number of
+    /// `true`s that loop would have returned).
+    pub fn add_edges_bulk(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        let mut half: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            if a == b || !self.contains(a) || !self.contains(b) {
+                continue;
+            }
+            half.push((a, b));
+            half.push((b, a));
+        }
+        half.sort_unstable();
+        let mut added_half = 0usize;
+        let mut i = 0;
+        while i < half.len() {
+            let node = half[i].0;
+            let mut j = i;
+            while j < half.len() && half[j].0 == node {
+                j += 1;
+            }
+            let list = self.slots[node.0].as_mut().expect("validated present");
+            added_half += merge_sorted_candidates(list, &half[i..j]);
+            i = j;
+        }
+        debug_assert!(
+            added_half.is_multiple_of(2),
+            "half-edge insertion must be symmetric"
+        );
+        self.edge_count += added_half / 2;
+        added_half / 2
+    }
+
+    /// [`add_edges_bulk`](Self::add_edges_bulk), partitioned across the
+    /// disjoint id ranges delimited by `bounds` and fanned over up to
+    /// `threads` workers. `bounds` lists the range cut points ascending
+    /// (e.g. a [shard grid's] boundaries); every neighbor list belongs to
+    /// exactly one range, each range is handled by exactly one worker on a
+    /// `split_at_mut` view of the slab, and a range's insertions depend
+    /// only on the batch and the prior graph — so the result is
+    /// **byte-identical at any thread count** and equal to the sequential
+    /// [`add_edges_bulk`](Self::add_edges_bulk). Ids at or past the last
+    /// cut point fall into the final range.
+    ///
+    /// [shard grid's]: Self::add_edges_bulk_partitioned
+    pub fn add_edges_bulk_partitioned(
+        &mut self,
+        edges: &[(NodeId, NodeId)],
+        bounds: &[usize],
+        threads: usize,
+    ) -> usize {
+        // Interior cut points, clamped to the slab and deduplicated; the
+        // implicit outer bounds are 0 and id_bound.
+        let mut cuts: Vec<usize> = bounds
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && b < self.slots.len())
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let ranges = cuts.len() + 1;
+        let threads = threads.clamp(1, ranges);
+        if ranges == 1 || threads == 1 {
+            return self.add_edges_bulk(edges);
+        }
+        let owner = |id: usize| cuts.partition_point(|&c| c <= id);
+        // Bucket each valid half-edge by the range owning its list.
+        let mut buckets: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); ranges];
+        for &(a, b) in edges {
+            if a == b || !self.contains(a) || !self.contains(b) {
+                continue;
+            }
+            buckets[owner(a.0)].push((a, b));
+            buckets[owner(b.0)].push((b, a));
+        }
+        // Split the slab at the cut points and hand each worker its
+        // statically assigned ranges (round-robin by range index, so the
+        // work distribution — and the output — never depends on timing).
+        let mut tasks: Vec<Vec<(usize, &mut [Option<Vec<NodeId>>], Vec<(NodeId, NodeId)>)>> =
+            Vec::with_capacity(threads);
+        tasks.resize_with(threads, Vec::new);
+        let mut rest: &mut [Option<Vec<NodeId>>] = &mut self.slots;
+        let mut start = 0usize;
+        for (range, bucket) in buckets.into_iter().enumerate() {
+            let end = cuts.get(range).copied().unwrap_or(start + rest.len());
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            tasks[range % threads].push((start, chunk, bucket));
+            rest = tail;
+            start = end;
+        }
+        let added_half: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|assigned| {
+                    scope.spawn(move || {
+                        let mut added = 0usize;
+                        for (start, chunk, mut bucket) in assigned {
+                            bucket.sort_unstable();
+                            let mut i = 0;
+                            while i < bucket.len() {
+                                let node = bucket[i].0;
+                                let mut j = i;
+                                while j < bucket.len() && bucket[j].0 == node {
+                                    j += 1;
+                                }
+                                let list =
+                                    chunk[node.0 - start].as_mut().expect("validated present");
+                                added += merge_sorted_candidates(list, &bucket[i..j]);
+                                i = j;
+                            }
+                        }
+                        added
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bulk-insert worker panicked"))
+                .sum()
+        });
+        debug_assert!(
+            added_half.is_multiple_of(2),
+            "half-edge insertion must be symmetric"
+        );
+        self.edge_count += added_half / 2;
+        added_half / 2
+    }
+
+    /// Concatenates per-range graphs into one slab: part `p`'s node `i`
+    /// becomes `NodeId(offset_p + i)` where `offset_p` is the sum of the
+    /// preceding parts' [`id_bound`](Self::id_bound)s, and every neighbor
+    /// id is shifted accordingly. Tombstones and edge counts carry over;
+    /// allocation free-pools do not (they are a reuse detail, invisible to
+    /// equality). This is the deterministic ascending merge of a sharded
+    /// construction: each part is built independently, then spliced in
+    /// part order.
+    pub fn assemble(parts: impl IntoIterator<Item = Graph>) -> Graph {
+        let mut assembled = Graph::new();
+        for part in parts {
+            let offset = assembled.slots.len();
+            assembled.live_count += part.live_count;
+            assembled.edge_count += part.edge_count;
+            assembled.slots.reserve(part.slots.len());
+            for slot in part.slots {
+                assembled.slots.push(slot.map(|mut list| {
+                    for id in &mut list {
+                        id.0 += offset;
+                    }
+                    list
+                }));
+            }
+        }
+        assembled
+    }
+
     /// Maximum degree over live nodes (`0` for an empty graph).
     pub fn max_degree(&self) -> usize {
         self.slots
@@ -303,6 +464,32 @@ impl Graph {
         }
         Ok(())
     }
+}
+
+/// Merges the peer halves of a sorted half-edge run `(node, peer)*` into
+/// `node`'s sorted neighbor list, skipping peers already present and
+/// duplicates within the run, and returns how many were appended. The one
+/// deferred sort per touched list happens here — candidates arrive sorted,
+/// so existing membership is a binary search over the original prefix and
+/// the final sort sees an almost-sorted vector.
+fn merge_sorted_candidates(list: &mut Vec<NodeId>, run: &[(NodeId, NodeId)]) -> usize {
+    let old_len = list.len();
+    let mut appended = 0usize;
+    let mut prev: Option<NodeId> = None;
+    for &(_, peer) in run {
+        if prev == Some(peer) {
+            continue;
+        }
+        prev = Some(peer);
+        if list[..old_len].binary_search(&peer).is_err() {
+            list.push(peer);
+            appended += 1;
+        }
+    }
+    if appended > 0 {
+        list.sort_unstable();
+    }
+    appended
 }
 
 #[cfg(test)]
@@ -447,6 +634,105 @@ mod tests {
         assert!(g.edges().is_empty());
         assert_eq!(g.id_bound(), 0);
         g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_insertion_equals_sequential_insertion() {
+        let (mut bulk, ids) = Graph::with_nodes(8);
+        let (mut sequential, _) = Graph::with_nodes(8);
+        bulk.remove_node(ids[7]);
+        sequential.remove_node(ids[7]);
+        let batch = vec![
+            (ids[0], ids[1]),
+            (ids[1], ids[0]), // duplicate in reverse orientation
+            (ids[2], ids[2]), // self loop
+            (ids[3], ids[7]), // dead endpoint
+            (ids[4], ids[5]),
+            (ids[0], ids[1]), // duplicate verbatim
+            (ids[5], ids[4]), // another reverse duplicate
+            (ids[1], ids[6]),
+        ];
+        let added = bulk.add_edges_bulk(&batch);
+        let sequential_added = batch
+            .iter()
+            .filter(|&&(a, b)| sequential.add_edge(a, b))
+            .count();
+        assert_eq!(added, sequential_added);
+        assert_eq!(added, 3);
+        assert_eq!(bulk, sequential);
+        bulk.check_invariants().unwrap();
+        // A second identical batch is a full no-op.
+        assert_eq!(bulk.add_edges_bulk(&batch), 0);
+        assert_eq!(bulk, sequential);
+    }
+
+    #[test]
+    fn bulk_insertion_merges_into_existing_lists() {
+        let (mut g, ids) = Graph::with_nodes(5);
+        g.add_edge(ids[0], ids[2]);
+        g.add_edge(ids[0], ids[4]);
+        let added = g.add_edges_bulk(&[(ids[0], ids[1]), (ids[0], ids[2]), (ids[3], ids[0])]);
+        assert_eq!(added, 2, "one of the three already existed");
+        assert_eq!(
+            g.neighbors(ids[0]).unwrap(),
+            &[ids[1], ids[2], ids[3], ids[4]]
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partitioned_bulk_insertion_matches_sequential_at_any_thread_count() {
+        let batch: Vec<(NodeId, NodeId)> = (0..40)
+            .flat_map(|i| {
+                [
+                    (NodeId(i), NodeId((i * 7 + 3) % 40)),
+                    (NodeId((i * 13 + 5) % 40), NodeId(i)),
+                ]
+            })
+            .collect();
+        let (mut reference, _) = Graph::with_nodes(40);
+        let reference_added = reference.add_edges_bulk(&batch);
+        for threads in [1usize, 2, 3, 8] {
+            let (mut g, _) = Graph::with_nodes(40);
+            let added = g.add_edges_bulk_partitioned(&batch, &[10, 20, 30], threads);
+            assert_eq!(added, reference_added, "threads={threads}");
+            assert_eq!(g, reference, "threads={threads}");
+            g.check_invariants().unwrap();
+        }
+        // Degenerate grids: no interior cuts, cuts past the slab, unsorted
+        // and duplicated cuts all degrade to the sequential path or to a
+        // smaller effective grid — never to a wrong graph.
+        for bounds in [vec![], vec![0, 40, 500], vec![30, 10, 10]] {
+            let (mut g, _) = Graph::with_nodes(40);
+            assert_eq!(
+                g.add_edges_bulk_partitioned(&batch, &bounds, 4),
+                reference_added
+            );
+            assert_eq!(g, reference, "bounds={bounds:?}");
+        }
+    }
+
+    #[test]
+    fn assemble_concatenates_parts_with_offsets() {
+        let (mut a, ids_a) = Graph::with_nodes(3);
+        a.add_edge(ids_a[0], ids_a[2]);
+        a.remove_node(ids_a[1]); // tombstone carries over
+        let (mut b, ids_b) = Graph::with_nodes(2);
+        b.add_edge(ids_b[0], ids_b[1]);
+        let g = Graph::assemble([a, b]);
+        assert_eq!(g.id_bound(), 5);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(3), NodeId(4)), "part-1 ids shifted by 3");
+        assert!(!g.contains(NodeId(1)), "tombstone preserved");
+        g.check_invariants().unwrap();
+        // Assembling one part is the identity on content.
+        let (mut solo, ids) = Graph::with_nodes(4);
+        solo.add_edge(ids[1], ids[3]);
+        assert_eq!(Graph::assemble([solo.clone()]), solo);
+        // Assembling nothing is the empty graph.
+        assert_eq!(Graph::assemble([]), Graph::new());
     }
 
     #[test]

@@ -203,6 +203,50 @@ mod property_tests {
             }
         }
 
+        /// Bulk edge insertion (unsorted batch, one deferred sort per
+        /// touched list) is equivalent to sequential `add_edge` over the
+        /// same batch — same resulting graph, same number of edges added —
+        /// for arbitrary batches full of duplicates, self loops and
+        /// references to tombstoned nodes, against arbitrary churned base
+        /// graphs. The partitioned variant must agree at every thread
+        /// count and under degenerate shard bounds.
+        #[test]
+        fn bulk_insertion_equals_sequential_insertion_under_churn(
+            ops in prop::collection::vec((0usize..24, 0usize..24, 0u8..5), 0..120),
+            batch in prop::collection::vec((0usize..40, 0usize..40), 0..150),
+            cuts in prop::collection::vec(0usize..40, 0..6),
+        ) {
+            let base = churned_graph(&ops);
+            let bound = base.id_bound().max(1);
+            let edges: Vec<(crate::graph::NodeId, crate::graph::NodeId)> = batch
+                .iter()
+                .map(|&(a, b)| (crate::graph::NodeId(a % bound), crate::graph::NodeId(b % bound)))
+                .collect();
+
+            let mut sequential = base.clone();
+            let mut seq_added = 0usize;
+            for &(a, b) in &edges {
+                if sequential.add_edge(a, b) {
+                    seq_added += 1;
+                }
+            }
+
+            let mut bulk = base.clone();
+            prop_assert_eq!(bulk.add_edges_bulk(&edges), seq_added);
+            prop_assert_eq!(&bulk, &sequential);
+            prop_assert!(bulk.check_invariants().is_ok());
+
+            for threads in [1usize, 3, 8] {
+                let mut partitioned = base.clone();
+                prop_assert_eq!(
+                    partitioned.add_edges_bulk_partitioned(&edges, &cuts, threads),
+                    seq_added,
+                    "threads={}", threads
+                );
+                prop_assert_eq!(&partitioned, &sequential, "threads={}", threads);
+            }
+        }
+
         /// Degree centrality of a k-regular graph is exactly k/(n-1) and the
         /// diameter of a connected instance is sane.
         #[test]

@@ -38,6 +38,7 @@ pub mod maintenance;
 pub mod overlay;
 pub mod rotation;
 pub mod routing;
+pub mod shard;
 
 pub use config::DdsrConfig;
 pub use overlay::DdsrOverlay;

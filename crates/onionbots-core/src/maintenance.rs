@@ -68,6 +68,30 @@ pub enum PeeringDecision {
     Reject,
 }
 
+/// Picks the peer to displace under the paper's "replace the
+/// highest-degree peer" rule: the highest-degree entry of `peers`, ties
+/// broken at random. That peer has the most alternative paths, so
+/// dropping it "maintains the reachability of all nodes" (§IV-C).
+///
+/// This is the one shared implementation of the rule — the peering
+/// acceptance policy below, the overlay's sequential prune loop
+/// (`DdsrOverlay::prune_node`) and the sharded frozen-degree prune
+/// planner (`shard::sharded_wave_repair`) all select victims through it,
+/// and all consume exactly one `choose` draw per selection so the
+/// sequential RNG streams are unchanged by the sharing.
+pub fn highest_degree_victim<R: Rng + ?Sized>(
+    peers: &[(NodeId, usize)],
+    rng: &mut R,
+) -> Option<NodeId> {
+    let max_degree = peers.iter().map(|&(_, d)| d).max()?;
+    let candidates: Vec<NodeId> = peers
+        .iter()
+        .filter(|&&(_, d)| d == max_degree)
+        .map(|&(id, _)| id)
+        .collect();
+    candidates.choose(rng).copied()
+}
+
 /// Decides how a node with the given peers responds to a peering request.
 ///
 /// * Below `d_max`: accept.
@@ -87,13 +111,8 @@ pub fn decide_peering<R: Rng + ?Sized>(
         return PeeringDecision::Accept;
     };
     if declared_degree < max_degree {
-        let candidates: Vec<NodeId> = current_peers
-            .iter()
-            .filter(|(_, d)| *d == max_degree)
-            .map(|(id, _)| *id)
-            .collect();
-        match candidates.choose(rng) {
-            Some(&victim) => PeeringDecision::Replace(victim),
+        match highest_degree_victim(current_peers, rng) {
+            Some(victim) => PeeringDecision::Replace(victim),
             None => PeeringDecision::Reject,
         }
     } else {
@@ -149,6 +168,24 @@ mod tests {
                 other => panic!("expected replacement, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn victim_selection_is_shared_and_uniform_over_ties() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(highest_degree_victim(&[], &mut rng), None);
+        assert_eq!(
+            highest_degree_victim(&peers(&[3, 9, 5]), &mut rng),
+            Some(NodeId(1))
+        );
+        let mut seen = [false; 3];
+        for _ in 0..40 {
+            match highest_degree_victim(&peers(&[7, 7, 7]), &mut rng) {
+                Some(NodeId(i)) => seen[i] = true,
+                None => panic!("non-empty list must yield a victim"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all tied peers must be reachable");
     }
 
     #[test]

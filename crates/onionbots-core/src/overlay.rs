@@ -68,6 +68,23 @@ impl DdsrOverlay {
         (Self::from_graph(graph, config), ids)
     }
 
+    /// Builds a fresh overlay with [`sharded construction`](crate::shard):
+    /// the pairing model runs per shard on streams split from `rng` (one
+    /// draw), shards assemble in ascending order, and a deterministic
+    /// merge pass stitches them — byte-identical at any worker-thread
+    /// count, fanned out up to the ambient
+    /// [`thread_budget`](onion_graph::budget::thread_budget).
+    pub fn new_regular_sharded<R: Rng + ?Sized>(
+        n: usize,
+        k: usize,
+        config: DdsrConfig,
+        grid: &crate::shard::ShardGrid,
+        rng: &mut R,
+    ) -> (Self, Vec<NodeId>) {
+        let (graph, ids) = crate::shard::build_sharded_regular(n, k, grid, rng);
+        (Self::from_graph(graph, config), ids)
+    }
+
     /// The overlay configuration.
     pub fn config(&self) -> DdsrConfig {
         self.config
@@ -207,6 +224,29 @@ impl DdsrOverlay {
         removed
     }
 
+    /// Removes a whole wave with [shard-partitioned](crate::shard) repair
+    /// and pruning: the coalesced repair edges go through one partitioned
+    /// bulk insertion and the prune pass plans per owning shard against
+    /// frozen degrees, with a sequential ascending-shard reconciliation.
+    /// Semantics match [`Self::remove_nodes`] at the wave level (see
+    /// [`sharded_wave_repair`](crate::shard::sharded_wave_repair) for the
+    /// documented frozen-degree divergence in pruning), the caller's RNG
+    /// advances by exactly one draw, and output is byte-identical at any
+    /// worker-thread count. Returns the number of nodes actually removed.
+    pub fn remove_nodes_sharded<R: Rng + ?Sized>(
+        &mut self,
+        victims: &[NodeId],
+        grid: &crate::shard::ShardGrid,
+        rng: &mut R,
+    ) -> usize {
+        let outcome =
+            crate::shard::sharded_wave_repair(&mut self.graph, &self.config, victims, grid, rng);
+        self.stats.nodes_repaired += outcome.removed as u64;
+        self.stats.edges_added += outcome.edges_added;
+        self.stats.edges_pruned += outcome.edges_pruned;
+        outcome.removed
+    }
+
     /// Removes a node *without* any repair — the "normal graph" baseline the
     /// paper compares against in Figure 5.
     pub fn remove_node_without_repair(&mut self, node: NodeId) -> bool {
@@ -240,28 +280,20 @@ impl DdsrOverlay {
             // edge removal, so it is only eligible when no neighbor sits
             // above d_min — the paper's unconditional fallback, "only
             // applicable as long as there are enough surviving nodes".
-            let eligible: Vec<&(NodeId, usize)> = {
-                let above_min: Vec<&(NodeId, usize)> = neighbors
+            let eligible: Vec<(NodeId, usize)> = {
+                let above_min: Vec<(NodeId, usize)> = neighbors
                     .iter()
-                    .filter(|&&(_, d)| d > self.config.d_min)
+                    .copied()
+                    .filter(|&(_, d)| d > self.config.d_min)
                     .collect();
                 if above_min.is_empty() {
-                    neighbors.iter().collect()
+                    neighbors.clone()
                 } else {
                     above_min
                 }
             };
-            let max_degree = match eligible.iter().map(|&&(_, d)| d).max() {
-                Some(d) => d,
-                None => return,
-            };
-            let candidates: Vec<NodeId> = eligible
-                .iter()
-                .filter(|&&&(_, d)| d == max_degree)
-                .map(|&&(n, _)| n)
-                .collect();
-            let victim = match candidates.choose(rng) {
-                Some(&v) => v,
+            let victim = match crate::maintenance::highest_degree_victim(&eligible, rng) {
+                Some(v) => v,
                 None => return,
             };
             // Removing the highest-degree peer "maintains the reachability of

@@ -58,7 +58,12 @@ use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
 
 /// Version of the on-disk entry layout; part of every fingerprint, so
 /// bumping it orphans (rather than misreads) all existing entries.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+///
+/// v2: the `scale` scenario moved to sharded overlay construction and
+/// partitioned wave repair (per-shard RNG streams split from the part
+/// seed), which changes its output stream while its fingerprint inputs
+/// are unchanged — stale v1 entries would replay old-stream bytes.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Whether an override key is relevant to a scenario that declared
 /// `declared` consumed keys (`None` = unknown, every key is relevant).
