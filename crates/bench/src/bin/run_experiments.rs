@@ -31,7 +31,9 @@
 //! The hidden `worker` mode (`run_experiments worker`) is the subprocess
 //! side of `--backend process`: it speaks the newline-delimited JSON
 //! work-item protocol on stdin/stdout and is not meant to be invoked by
-//! hand.
+//! hand. `serve-worker --listen ADDR` is the same loop as a standalone
+//! TCP worker host — the fleet side of `--backend remote --worker ADDR`
+//! (see [`sim::remote`]).
 
 // Deny (not forbid) so the one inventoried exception below can carry a
 // scoped `#[allow]`; detlint rule D004 pins this binary to exactly one
@@ -90,6 +92,7 @@ struct Options {
     no_cache: bool,
     refresh: bool,
     backend: BackendChoice,
+    workers: Vec<String>,
     threads_per_item: ThreadsPerItem,
 }
 
@@ -97,6 +100,7 @@ struct Options {
 enum BackendChoice {
     Local,
     Process,
+    Remote,
 }
 
 const USAGE: &str = "\
@@ -107,6 +111,7 @@ Subcommands (see each one's --help):
   serve               start the persistent simulation service daemon
   submit              send one job to a running daemon and stream results
   status              inspect a running daemon's job table / scenarios
+  serve-worker        run a standalone TCP worker host for --backend remote
 
 Options:
   --list              list registered scenarios and exit
@@ -121,8 +126,12 @@ Options:
                       (split cores across in-flight items, the default)
                       or a fixed thread count; never changes output bytes
   --backend B         execution backend: local (in-process threads,
-                      default) or process (run_experiments worker
-                      subprocesses speaking ndjson over stdin/stdout)
+                      default), process (run_experiments worker
+                      subprocesses speaking ndjson over stdin/stdout) or
+                      remote (a fleet of serve-worker hosts over TCP)
+  --worker ADDR       remote worker host address, repeatable (requires
+                      --backend remote; list an address twice for two
+                      concurrent channels to the same host)
   --seed N            base RNG seed (default: 2015)
   --set KEY=VALUE     scenario override, repeatable (e.g. --set steps=5)
   --out DIR           also write per-report .json/.csv files and summary.json
@@ -149,6 +158,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         no_cache: false,
         refresh: false,
         backend: BackendChoice::Local,
+        workers: Vec::new(),
         threads_per_item: ThreadsPerItem::Auto,
     };
     let mut i = 0;
@@ -220,9 +230,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.backend = match value.as_str() {
                     "local" => BackendChoice::Local,
                     "process" => BackendChoice::Process,
-                    other => return Err(format!("unknown --backend '{other}' (local|process)")),
+                    "remote" => BackendChoice::Remote,
+                    other => {
+                        return Err(format!(
+                            "unknown --backend '{other}' (local|process|remote)"
+                        ))
+                    }
                 };
             }
+            "--worker" => options.workers.push(value_for("--worker")?),
             "--out" => options.out = Some(value_for("--out")?),
             "--cache-dir" => options.cache_dir = Some(value_for("--cache-dir")?),
             "--no-cache" => options.no_cache = true,
@@ -241,6 +257,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if options.json && !options.list {
         return Err("--json is only valid together with --list".to_string());
+    }
+    if options.backend == BackendChoice::Remote && options.workers.is_empty() {
+        return Err("--backend remote requires at least one --worker ADDR".to_string());
+    }
+    if options.backend != BackendChoice::Remote && !options.workers.is_empty() {
+        return Err("--worker is only valid together with --backend remote".to_string());
     }
     Ok(options)
 }
@@ -261,6 +283,7 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Some("serve-worker") => return worker::serve_worker_main(&args[1..]),
         Some("serve") => {
             install_shutdown_handler();
             return service_cli::serve_main(&args[1..], &SHUTDOWN);
@@ -336,6 +359,7 @@ fn main() -> ExitCode {
         match options.backend {
             BackendChoice::Local => "local",
             BackendChoice::Process => "process",
+            BackendChoice::Remote => "remote",
         },
         match options.threads_per_item {
             ThreadsPerItem::Auto => "auto".to_string(),
@@ -364,6 +388,7 @@ fn main() -> ExitCode {
             };
             Backend::Process(WorkerCommand::new(exe).arg("worker"))
         }
+        BackendChoice::Remote => Backend::Remote(options.workers.clone()),
     };
     let mut runner = Runner::new(params)
         .jobs(options.jobs)

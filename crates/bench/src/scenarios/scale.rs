@@ -33,7 +33,7 @@
 use onion_graph::components::largest_component_fraction;
 use onion_graph::graph::NodeId;
 use onion_graph::metrics::sampled_diameter;
-use onionbots_core::shard::{ShardGrid, DEFAULT_SHARDS};
+use onionbots_core::shard::{default_shards_for, ShardGrid};
 use onionbots_core::{DdsrConfig, DdsrOverlay};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -100,7 +100,13 @@ impl Scenario for ScaleChurn {
         let waves = params.override_usize("waves", 10);
         let wave_frac = params.override_f64("wave-frac", 0.05);
         let diameter_samples = params.override_usize("diameter-samples", 16);
-        let shards = params.override_usize("shards", DEFAULT_SHARDS);
+        // An explicit `shards` override always wins; otherwise the grid
+        // is gated on n so small (quick-scale) parts skip the sequential
+        // mixing-swap merge that dominates them (see
+        // `shard::default_shards_for`).
+        let shards = params
+            .override_usize_opt("shards")
+            .unwrap_or_else(|| default_shards_for(n));
         let label = format!("n={n}");
 
         // The fixed logical grid defines the per-shard RNG streams; worker
@@ -216,6 +222,32 @@ mod tests {
             "cumulative repair work is monotone"
         );
         assert!(*repair.y.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn small_populations_default_to_one_shard_and_overrides_still_win() {
+        let scenario = ScaleChurn;
+        let run = |extra: Option<(&str, &str)>| {
+            let mut params = ScenarioParams::default()
+                .with_override("n", "2000")
+                .with_override("waves", "3");
+            if let Some((key, value)) = extra {
+                params = params.with_override(key, value);
+            }
+            let mut rng = StdRng::seed_from_u64(part_seed(params.seed, scenario.id(), 0));
+            scenario.run_part(0, &params, &mut rng)
+        };
+        let gated = run(None);
+        assert_eq!(
+            gated,
+            run(Some(("shards", "1"))),
+            "below the gate the default grid is a single shard"
+        );
+        assert_ne!(
+            gated,
+            run(Some(("shards", "8"))),
+            "an explicit shards override beats the gate (different grid, different streams)"
+        );
     }
 
     #[test]

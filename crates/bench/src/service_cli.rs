@@ -70,7 +70,10 @@ fn parse_backend(value: &str) -> Result<BackendSpec, String> {
     match value {
         "local" => Ok(BackendSpec::Local),
         "process" => Ok(BackendSpec::Process),
-        other => Err(format!("unknown --backend '{other}' (local|process)")),
+        "remote" => Ok(BackendSpec::Remote),
+        other => Err(format!(
+            "unknown --backend '{other}' (local|process|remote)"
+        )),
     }
 }
 
@@ -145,7 +148,9 @@ Options:
   --tcp ADDR          listen on a TCP address (loopback recommended,
                       e.g. 127.0.0.1:0); may be combined with --socket
   --jobs N            default workers per job (default: 1)
-  --backend B         default execution backend: local|process
+  --backend B         default execution backend: local|process|remote
+  --worker ADDR       default remote worker host address, repeatable
+                      (used by --backend remote jobs)
   --threads-per-item T
                       default intra-item thread budget: auto or N >= 1
   --cache-dir DIR     shared result cache for every job
@@ -161,6 +166,7 @@ struct ServeOptions {
     transports: Vec<Transport>,
     jobs: usize,
     backend: BackendSpec,
+    workers: Vec<String>,
     threads_per_item: ThreadsPerItem,
     cache_dir: Option<String>,
     no_cache: bool,
@@ -171,6 +177,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         transports: Vec::new(),
         jobs: 1,
         backend: BackendSpec::Local,
+        workers: Vec::new(),
         threads_per_item: ThreadsPerItem::Auto,
         cache_dir: None,
         no_cache: false,
@@ -200,6 +207,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                     .map_err(|_| format!("invalid --jobs value '{value}'"))?;
             }
             "--backend" => options.backend = parse_backend(&value_for("--backend")?)?,
+            "--worker" => options.workers.push(value_for("--worker")?),
             "--threads-per-item" => {
                 options.threads_per_item =
                     parse_threads_per_item(&value_for("--threads-per-item")?)?;
@@ -264,6 +272,7 @@ pub fn serve_main(args: &[String], stop: &AtomicBool) -> ExitCode {
             jobs: options.jobs,
             backend: options.backend,
             worker_command,
+            workers: options.workers,
             threads_per_item: options.threads_per_item,
             cache,
         },
@@ -342,7 +351,9 @@ Options:
   --seed N            base RNG seed (default: the daemon's default, 2015)
   --set KEY=VALUE     scenario override, repeatable
   --jobs N            workers for this job (default: the daemon's default)
-  --backend B         backend for this job: local|process
+  --backend B         backend for this job: local|process|remote
+  --worker ADDR       remote worker host address for this job, repeatable
+                      (default: the daemon's configured fleet)
   --threads-per-item T
                       intra-item thread budget: auto or N >= 1
   --refresh           re-execute cached parts and overwrite their entries
@@ -368,6 +379,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
     let mut quiet = false;
     let mut only: Vec<String> = Vec::new();
     let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut workers: Vec<String> = Vec::new();
     let mut scale = Scale::from_env();
     let mut i = 0;
     while i < args.len() {
@@ -422,6 +434,7 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
                 );
             }
             "--backend" => spec.backend = Some(parse_backend(&value_for("--backend")?)?),
+            "--worker" => workers.push(value_for("--worker")?),
             "--threads-per-item" => {
                 spec.threads_per_item = Some(
                     match parse_threads_per_item(&value_for("--threads-per-item")?)? {
@@ -447,6 +460,9 @@ fn parse_submit_options(args: &[String]) -> Result<SubmitOptions, String> {
     }
     if !overrides.is_empty() {
         spec.overrides = Some(overrides.into_iter().collect());
+    }
+    if !workers.is_empty() {
+        spec.workers = Some(workers);
     }
     if scale.is_full() {
         spec.full_scale = Some(true);

@@ -13,10 +13,19 @@
 //! EOF on stdin is the shutdown signal: the parent closes the pipe and
 //! the worker exits cleanly. Crash-recovery tests inject deterministic
 //! deaths through [`CRASH_AFTER_ENV`].
+//!
+//! The `run_experiments serve-worker --listen ADDR` mode
+//! ([`serve_worker_main`]) is the same loop promoted to a standalone
+//! **worker host** for `--backend remote`: registry loaded once, one
+//! thread per dispatcher connection, the identical work-item frames over
+//! TCP behind a one-line version handshake (see [`sim::remote`]).
 
 use std::io;
+use std::net::TcpListener;
+use std::process::ExitCode;
 
 use sim::executor::serve_work_items;
+use sim::remote::serve_remote_host;
 
 use crate::scenarios;
 
@@ -46,6 +55,94 @@ pub fn run_worker() -> io::Result<()> {
     serve_work_items(stdin.lock(), stdout.lock(), crash_after, |id| {
         registry.get(id)
     })
+}
+
+/// Usage text for the `serve-worker` subcommand.
+pub const SERVE_WORKER_USAGE: &str = "\
+Usage: run_experiments serve-worker --listen ADDR
+
+Runs a standalone worker host for `--backend remote`: loads the scenario
+registry once, accepts dispatcher connections on ADDR and serves
+newline-delimited JSON work-item frames until the process is killed.
+
+ADDR is a TCP socket address like 127.0.0.1:7461; port 0 picks a free
+port. The actually bound address is printed as the first line on stdout
+so scripts can use `--listen 127.0.0.1:0` and read the port back.
+
+Options:
+  --listen ADDR   TCP socket address to accept dispatchers on (required)
+  --help          show this help
+";
+
+/// Entry point for `run_experiments serve-worker` (args exclude the
+/// subcommand word). Runs until killed.
+pub fn serve_worker_main(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
+        match arg.as_str() {
+            "--listen" => match args.get(i) {
+                Some(value) => {
+                    listen = Some(value.clone());
+                    i += 1;
+                }
+                None => {
+                    eprintln!("error: --listen requires a value\n\n{SERVE_WORKER_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{SERVE_WORKER_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option '{other}'\n\n{SERVE_WORKER_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = listen else {
+        eprintln!("error: serve-worker requires --listen ADDR\n\n{SERVE_WORKER_USAGE}");
+        return ExitCode::from(2);
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("error: cannot listen on {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match listener.local_addr() {
+        Ok(bound) => bound,
+        Err(error) => {
+            eprintln!("error: cannot resolve the bound address: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The first stdout line is machine-readable: scripts bind port 0 and
+    // read the real address back. (Rust's stdout is line-buffered, so
+    // this lands before the accept loop blocks.)
+    println!("{bound}");
+    let registry = scenarios::registry();
+    // detlint: allow(D003) reason="test-only crash-injection hook shared with worker mode; read once at host startup and never visible in results (a crashed host's items re-queue on the surviving fleet)"
+    let crash_after = std::env::var(CRASH_AFTER_ENV)
+        .ok()
+        .and_then(|raw| raw.parse::<usize>().ok());
+    eprintln!(
+        "worker host: serving {} scenario(s) on {bound}",
+        registry.len()
+    );
+    match serve_remote_host(listener, crash_after, |id| registry.get(id)) {
+        // The accept loop never returns Ok; a worker host runs until
+        // killed.
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("worker host error: {error}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]

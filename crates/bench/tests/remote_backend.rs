@@ -1,0 +1,286 @@
+//! Integration tests for the remote (multi-host TCP) backend against
+//! real registered scenarios and real `serve-worker` host processes:
+//! `RunSummary` byte-equality remote-vs-local at several fleet sizes
+//! (cold and warm), host-kill recovery with identical output, retry
+//! exhaustion against a host that keeps corrupting the stream, fatal
+//! rejection by a host that refuses the handshake, and cache sharing
+//! (parts computed by remote hosts replay as local hits, byte-identically
+//! — and a failed remote run never poisons the cache).
+//!
+//! Worker hosts are this package's own `run_experiments` binary in its
+//! `serve-worker` mode, bound to `127.0.0.1:0`; each host prints its
+//! bound address as its first stdout line, which is how the tests learn
+//! the ephemeral ports.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use onionbots_bench::scenarios;
+use onionbots_bench::worker::CRASH_AFTER_ENV;
+use sim::remote::{DispatchFrame, WorkerFrame, REMOTE_PROTOCOL_VERSION};
+use sim::scenario_api::ScenarioParams;
+use sim::{Backend, ResultCache, Runner, Scenario, ThreadsPerItem};
+
+/// A `serve-worker` host subprocess; killed (and reaped) on drop so a
+/// failing test never leaks listeners.
+struct WorkerHost {
+    child: Child,
+    addr: String,
+}
+
+impl WorkerHost {
+    /// Spawns a host on an ephemeral loopback port and reads the bound
+    /// address off its first stdout line.
+    fn spawn(crash_after: Option<usize>) -> WorkerHost {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_run_experiments"));
+        command
+            .args(["serve-worker", "--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(n) = crash_after {
+            command.env(CRASH_AFTER_ENV, n.to_string());
+        }
+        let mut child = command.spawn().expect("spawn serve-worker");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut addr = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut addr)
+            .expect("read bound address");
+        let addr = addr.trim().to_string();
+        assert!(!addr.is_empty(), "serve-worker printed no bound address");
+        WorkerHost { child, addr }
+    }
+}
+
+impl Drop for WorkerHost {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn fleet(hosts: &[WorkerHost]) -> Vec<String> {
+    hosts.iter().map(|host| host.addr.clone()).collect()
+}
+
+/// The executor-backend suite's parameterization: fig6 plus scale pinned
+/// to one 2000-node part, sweeps shortened for debug-profile runtime.
+fn params(seed: u64) -> ScenarioParams {
+    ScenarioParams::with_seed(seed)
+        .with_override("steps", "4")
+        .with_override("n", "2000")
+        .with_override("waves", "3")
+}
+
+fn selected() -> Vec<Arc<dyn Scenario>> {
+    scenarios::registry()
+        .select(&["fig6".to_string(), "scale".to_string()])
+        .unwrap()
+}
+
+const PARTS: usize = 4 + 1; // fig6 steps=4 + scale collapsed to n=2000
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "onionbots-remote-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn remote_backend_is_byte_identical_to_local_at_1_2_4_hosts() {
+    let reference = Runner::new(params(2015)).run(&selected());
+    for host_count in [1usize, 2, 4] {
+        let hosts: Vec<WorkerHost> = (0..host_count).map(|_| WorkerHost::spawn(None)).collect();
+        let summary = Runner::new(params(2015))
+            .jobs(host_count)
+            .backend(Backend::Remote(fleet(&hosts)))
+            .run(&selected());
+        assert_eq!(
+            summary.to_json(),
+            reference.to_json(),
+            "remote backend, {host_count} host(s)"
+        );
+    }
+}
+
+#[test]
+fn remote_hosts_honor_threads_per_item_byte_identically() {
+    let hosts = [WorkerHost::spawn(None), WorkerHost::spawn(None)];
+    let reference = Runner::new(params(2015)).run(&selected());
+    for threads in [1usize, 4] {
+        let summary = Runner::new(params(2015))
+            .jobs(2)
+            .threads_per_item(ThreadsPerItem::Fixed(threads))
+            .backend(Backend::Remote(fleet(&hosts)))
+            .run(&selected());
+        assert_eq!(
+            summary.to_json(),
+            reference.to_json(),
+            "remote backend, threads-per-item={threads}"
+        );
+    }
+}
+
+#[test]
+fn a_host_killed_mid_run_requeues_its_items_and_the_output_is_unchanged() {
+    let reference = Runner::new(params(7)).run(&selected());
+    // The second host abruptly exits while holding its second assignment
+    // (read, never answered); its items must re-queue on the survivor and
+    // the run must still converge to the reference bytes.
+    let hosts = [WorkerHost::spawn(None), WorkerHost::spawn(Some(1))];
+    let summary = Runner::new(params(7))
+        .jobs(2)
+        .backend(Backend::Remote(fleet(&hosts)))
+        .run(&selected());
+    assert_eq!(summary.to_json(), reference.to_json());
+}
+
+/// An adversarial in-test "host": completes the handshake, then answers
+/// every assignment with a corrupt line, on every connection, forever.
+/// Unlike a killed host it stays reachable, so the dispatcher's
+/// reconnect-and-retry path runs until the per-item retry bound trips.
+fn spawn_garbage_host() -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                continue;
+            }
+            let welcome = serde_json::to_string(&WorkerFrame::Welcome {
+                protocol: REMOTE_PROTOCOL_VERSION,
+            })
+            .unwrap();
+            if writeln!(writer, "{welcome}").is_err() {
+                continue;
+            }
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                if writeln!(writer, "this is not a worker frame").is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn an_item_that_keeps_corrupting_the_stream_fails_the_run_instead_of_looping() {
+    let (addr, _handle) = spawn_garbage_host();
+    let error = Runner::new(params(3))
+        .jobs(1)
+        .backend(Backend::Remote(vec![addr]))
+        .try_run_with_stats(&selected())
+        .unwrap_err();
+    let message = error.to_string();
+    assert!(
+        message.contains("worker") && message.contains("giving up"),
+        "unexpected error: {message}"
+    );
+}
+
+#[test]
+fn a_host_that_rejects_the_handshake_fails_the_run_and_never_poisons_the_cache() {
+    // A "host" from the future: it refuses the dispatcher's hello.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let _handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            // Sanity: the dispatcher leads with a versioned hello.
+            let hello: DispatchFrame = serde_json::from_str(line.trim()).unwrap();
+            assert!(matches!(hello, DispatchFrame::Hello { .. }));
+            let reject = serde_json::to_string(&WorkerFrame::Reject {
+                reason: "speaks remote protocol v999".to_string(),
+            })
+            .unwrap();
+            let _ = writeln!(writer, "{reject}");
+        }
+    });
+    let dir = temp_dir("reject-no-poison");
+    let cache = ResultCache::open(&dir).unwrap();
+    let error = Runner::new(params(5))
+        .jobs(1)
+        .backend(Backend::Remote(vec![addr]))
+        .with_cache(cache.clone())
+        .try_run_with_stats(&selected())
+        .unwrap_err();
+    let message = error.to_string();
+    assert!(message.contains("refused"), "unexpected error: {message}");
+    // Nothing from the failed run may have been cached: a local run over
+    // the same cache starts fully cold.
+    let (_, stats) = Runner::new(params(5))
+        .with_cache(cache)
+        .run_with_stats(&selected());
+    let stats = stats.unwrap();
+    assert_eq!(stats.hits, 0, "failed remote run poisoned the cache");
+    assert_eq!(stats.misses, PARTS);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parts_computed_by_remote_hosts_replay_as_local_cache_hits_byte_identically() {
+    let dir = temp_dir("remote-cache");
+    let cache = ResultCache::open(&dir).unwrap();
+    let hosts = [WorkerHost::spawn(None), WorkerHost::spawn(None)];
+    // Cold run on the remote backend: every part misses, executes on a
+    // worker host, and is stored by the dispatcher.
+    let (cold, stats) = Runner::new(params(11))
+        .jobs(2)
+        .backend(Backend::Remote(fleet(&hosts)))
+        .with_cache(cache.clone())
+        .run_with_stats(&selected());
+    let stats = stats.unwrap();
+    assert_eq!(stats.misses, PARTS);
+    assert_eq!(stats.stored, PARTS);
+    assert_eq!(stats.hits, 0);
+    drop(hosts); // the fleet is gone; the cache outlives it
+    let (warm, stats) = Runner::new(params(11))
+        .jobs(4)
+        .with_cache(cache)
+        .run_with_stats(&selected());
+    let stats = stats.unwrap();
+    assert!(stats.all_hits(), "{stats:?}");
+    assert_eq!(stats.hits, PARTS);
+    assert_eq!(warm.to_json(), cold.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_remote_submission_is_byte_identical_to_its_cold_run() {
+    let dir = temp_dir("remote-warm");
+    let cache = ResultCache::open(&dir).unwrap();
+    let hosts = [WorkerHost::spawn(None)];
+    let run = |cache: ResultCache| {
+        Runner::new(params(13))
+            .jobs(1)
+            .backend(Backend::Remote(fleet(&hosts)))
+            .with_cache(cache)
+            .run_with_stats(&selected())
+    };
+    let (cold, cold_stats) = run(cache.clone());
+    assert_eq!(cold_stats.unwrap().misses, PARTS);
+    let (warm, warm_stats) = run(cache);
+    assert!(warm_stats.unwrap().all_hits());
+    assert_eq!(warm.to_json(), cold.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -300,8 +300,10 @@ impl Graph {
         // Split the slab at the cut points and hand each worker its
         // statically assigned ranges (round-robin by range index, so the
         // work distribution — and the output — never depends on timing).
-        let mut tasks: Vec<Vec<(usize, &mut [Option<Vec<NodeId>>], Vec<(NodeId, NodeId)>)>> =
-            Vec::with_capacity(threads);
+        // One range's task: its first slot index, its slab chunk, and
+        // the half-edges destined for lists it owns.
+        type RangeTask<'a> = (usize, &'a mut [Option<Vec<NodeId>>], Vec<(NodeId, NodeId)>);
+        let mut tasks: Vec<Vec<RangeTask<'_>>> = Vec::with_capacity(threads);
         tasks.resize_with(threads, Vec::new);
         let mut rest: &mut [Option<Vec<NodeId>>] = &mut self.slots;
         let mut start = 0usize;

@@ -64,6 +64,26 @@ use crate::config::DdsrConfig;
 /// 10⁶ nodes large enough (~15.6k nodes) for good pairing-model locality.
 pub const DEFAULT_SHARDS: usize = 64;
 
+/// Populations below this threshold default to a **single shard**: the
+/// sequential mixing-swap merge pass dominates small graphs (measured
+/// 0.79× at n=10⁴ single-core, `BENCH_overlay_shard.json`) while the
+/// grid's cache-locality win only shows from ~10⁵ up (1.76× at n=10⁵) —
+/// so quick-scale parts never pay for a merge they cannot amortize. An
+/// explicit `shards` override always wins over the gate.
+pub const SHARD_GATE_MIN_NODES: usize = 50_000;
+
+/// The default shard count for an `n`-node overlay: [`DEFAULT_SHARDS`]
+/// at and above [`SHARD_GATE_MIN_NODES`], one shard below it. With one
+/// shard the grid degenerates to the plain sequential pairing model —
+/// no merge pass, no per-shard stream split overhead.
+pub fn default_shards_for(n: usize) -> usize {
+    if n < SHARD_GATE_MIN_NODES {
+        1
+    } else {
+        DEFAULT_SHARDS
+    }
+}
+
 /// Hard ceiling on shard workers, mirroring the BFS kernel's bound: an
 /// absurd caller-supplied budget must degrade to "merely pointless", not
 /// to a failed thread spawn.
@@ -523,6 +543,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn default_shard_count_is_gated_on_the_population() {
+        // Below the gate the sharded build's sequential merge pass costs
+        // more than it saves (0.79x at n=10^4, BENCH_overlay_shard.json),
+        // so small overlays default to the plain pairing model.
+        assert_eq!(default_shards_for(10_000), 1);
+        assert_eq!(default_shards_for(30_000), 1);
+        assert_eq!(default_shards_for(SHARD_GATE_MIN_NODES - 1), 1);
+        assert_eq!(default_shards_for(SHARD_GATE_MIN_NODES), DEFAULT_SHARDS);
+        assert_eq!(default_shards_for(100_000), DEFAULT_SHARDS);
+        assert_eq!(default_shards_for(1_000_000), DEFAULT_SHARDS);
     }
 
     #[test]

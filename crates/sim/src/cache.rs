@@ -63,7 +63,13 @@ use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
 /// partitioned wave repair (per-shard RNG streams split from the part
 /// seed), which changes its output stream while its fingerprint inputs
 /// are unchanged — stale v1 entries would replay old-stream bytes.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+///
+/// v3: the default shard grid is now gated on the population
+/// (`shard::default_shards_for`: one shard below 50k nodes, 64 above),
+/// so `scale` parts without an explicit `shards` override changed their
+/// output stream again — small parts now run the plain sequential
+/// pairing model instead of a 64-shard grid.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Whether an override key is relevant to a scenario that declared
 /// `declared` consumed keys (`None` = unknown, every key is relevant).

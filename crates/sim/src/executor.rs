@@ -27,8 +27,9 @@
 //!
 //! Because both backends consume the same serialized work items and
 //! per-part seeding makes results position-independent, a `RunSummary`
-//! is byte-identical across backends and worker counts — and a future
-//! remote backend only has to speak the same one-line-JSON protocol.
+//! is byte-identical across backends and worker counts — and the
+//! multi-host [`RemoteExecutor`](crate::remote::RemoteExecutor) speaks
+//! the same one-line-JSON protocol over TCP.
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;

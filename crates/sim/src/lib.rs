@@ -60,6 +60,7 @@ pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod experiment;
+pub mod remote;
 pub mod runner;
 pub mod scenario;
 pub mod scenario_api;
@@ -70,6 +71,10 @@ pub use executor::{
     Executor, ExecutorError, LocalExecutor, PartResult, ProcessExecutor, WorkItem, WorkerCommand,
 };
 pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
+pub use remote::{
+    serve_remote_connection, serve_remote_host, DispatchFrame, RemoteExecutor, WorkerFrame,
+    REMOTE_PROTOCOL_VERSION,
+};
 pub use runner::{
     Backend, PartEvent, PartState, RunObserver, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem,
 };

@@ -1,0 +1,581 @@
+//! Multi-host distributed backend: TCP work-stealing fleet dispatch.
+//!
+//! [`RemoteExecutor`] fans the same serializable [`WorkItem`]s the
+//! process backend pins out to a fleet of worker *hosts* over TCP. The
+//! wire format is one JSON frame per line, and the payload frames embed
+//! the exact [`WorkItem`]/[`PartResult`] objects `serve_work_items`
+//! already speaks — a worker host is a `ProcessExecutor` worker with a
+//! socket where the pipe used to be, plus a one-line version handshake:
+//!
+//! | direction | frame | meaning |
+//! |---|---|---|
+//! | dispatcher → host | `Hello { protocol }` | open a work channel |
+//! | host → dispatcher | `Welcome { protocol }` | versions match, send work |
+//! | host → dispatcher | `Reject { reason }` | refused (version skew, …) |
+//! | dispatcher → host | `Assign(WorkItem)` | execute one item |
+//! | host → dispatcher | `Completed(PartResult)` | the item's result |
+//!
+//! Dispatch is **work-stealing**: one dispatcher-side thread per
+//! configured host pulls items off a shared pending queue, so a slow
+//! host never stalls the run — it just steals fewer items. Host loss
+//! follows the `ProcessExecutor` semantics exactly: the in-flight item
+//! is re-queued for the surviving hosts, deaths of *fresh* connections
+//! (no completed items) charge the item's bounded retry budget, and a
+//! run fails instead of looping when an item keeps killing fresh
+//! connections or when every host is gone with work still queued.
+//! Results dedup on the item **fingerprint** — a re-queued item can
+//! never be double-merged even if a half-dead host answered it late.
+//!
+//! Determinism is inherited, not re-argued: hosts compute parts with
+//! [`run_work_item`] (per-part seed, `threads` budget scoped around the
+//! part), the cache pass sits above the backend, and the `Runner`
+//! reassembles results in `(scenario, part)` order — so `RunSummary` is
+//! byte-identical to `--backend local` at any host count, including
+//! under mid-run host kills.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::{
+    run_work_item, ExecutionObserver, Executor, ExecutorError, PartResult, WorkItem,
+    DEFAULT_MAX_ITEM_RETRIES,
+};
+use crate::scenario_api::Scenario;
+
+/// Version of the dispatcher↔host wire protocol. Part of the handshake:
+/// a host refuses a dispatcher whose version differs, which fails the
+/// run up front instead of corrupting it halfway through.
+pub const REMOTE_PROTOCOL_VERSION: u32 = 1;
+
+/// Frames the dispatcher sends to a worker host (one JSON object per
+/// line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DispatchFrame {
+    /// Opens a work channel; must be the first frame on a connection.
+    Hello {
+        /// The dispatcher's [`REMOTE_PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Assigns one work item; the host answers with
+    /// [`WorkerFrame::Completed`].
+    Assign(WorkItem),
+}
+
+/// Frames a worker host sends back to the dispatcher (one JSON object
+/// per line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerFrame {
+    /// Handshake accepted; the host will serve assignments.
+    Welcome {
+        /// The host's [`REMOTE_PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Handshake refused; the host closes the connection after this.
+    Reject {
+        /// Human-readable refusal cause (version skew, bad hello, …).
+        reason: String,
+    },
+    /// One assignment's result, echoing the item's identity.
+    Completed(PartResult),
+}
+
+fn send_frame<W: Write, T: Serialize>(output: &mut W, frame: &T) -> io::Result<()> {
+    let line = serde_json::to_string(frame).expect("protocol frames serialize");
+    output.write_all(line.as_bytes())?;
+    output.write_all(b"\n")?;
+    output.flush()
+}
+
+/// Reads one line, `None` on EOF.
+fn read_frame_line<R: BufRead>(input: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if input.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(line))
+}
+
+/// Why a connection attempt to a worker host did not produce a usable
+/// channel — the two cases have opposite consequences for the run.
+enum ConnectFailure {
+    /// The host is unreachable or vanished mid-handshake. Fatal on the
+    /// first attempt (a configured host must exist when the run starts,
+    /// mirroring the process backend's cannot-spawn error); mere host
+    /// loss on a reconnect, where the rest of the fleet absorbs the
+    /// queue.
+    Dead(io::Error),
+    /// The host answered and refused us (version skew, not speaking the
+    /// protocol at all). Always fatal: a misconfigured fleet member
+    /// would silently absorb retries otherwise.
+    Refused(String),
+}
+
+/// A live work channel to one worker host.
+struct HostChannel {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Items this connection answered successfully — same fresh-death
+    /// heuristic as the process backend's per-incarnation counter.
+    completed: usize,
+}
+
+impl HostChannel {
+    fn connect(addr: &str) -> Result<HostChannel, ConnectFailure> {
+        let writer = TcpStream::connect(addr).map_err(ConnectFailure::Dead)?;
+        // The protocol is strictly request/response with small frames;
+        // without TCP_NODELAY every round trip stalls on Nagle vs
+        // delayed-ACK (~40 ms each way — measured ~87 ms/item on
+        // loopback, dwarfing the work itself).
+        writer.set_nodelay(true).map_err(ConnectFailure::Dead)?;
+        let reader = BufReader::new(writer.try_clone().map_err(ConnectFailure::Dead)?);
+        let mut channel = HostChannel {
+            writer,
+            reader,
+            completed: 0,
+        };
+        send_frame(
+            &mut channel.writer,
+            &DispatchFrame::Hello {
+                protocol: REMOTE_PROTOCOL_VERSION,
+            },
+        )
+        .map_err(ConnectFailure::Dead)?;
+        let line = match read_frame_line(&mut channel.reader).map_err(ConnectFailure::Dead)? {
+            Some(line) => line,
+            None => {
+                return Err(ConnectFailure::Dead(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "host closed the connection during the handshake",
+                )))
+            }
+        };
+        let reply: WorkerFrame = serde_json::from_str(&line).map_err(|e| {
+            ConnectFailure::Refused(format!("sent an unparseable handshake reply: {e}"))
+        })?;
+        match reply {
+            WorkerFrame::Welcome { protocol } if protocol == REMOTE_PROTOCOL_VERSION => Ok(channel),
+            WorkerFrame::Welcome { protocol } => Err(ConnectFailure::Refused(format!(
+                "speaks remote protocol v{protocol}, this dispatcher speaks v{REMOTE_PROTOCOL_VERSION}"
+            ))),
+            WorkerFrame::Reject { reason } => Err(ConnectFailure::Refused(reason)),
+            WorkerFrame::Completed(_) => Err(ConnectFailure::Refused(
+                "answered the handshake with a result frame".to_string(),
+            )),
+        }
+    }
+
+    /// Sends one assignment and reads back its result. Any error means
+    /// the channel is unusable and must be replaced.
+    fn round_trip(&mut self, item: &WorkItem) -> io::Result<PartResult> {
+        send_frame(&mut self.writer, &DispatchFrame::Assign(item.clone()))?;
+        let line = read_frame_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "host closed the connection mid-item",
+            )
+        })?;
+        let frame: WorkerFrame = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("host sent an unparseable frame: {e}"),
+            )
+        })?;
+        match frame {
+            WorkerFrame::Completed(result) => Ok(result),
+            WorkerFrame::Welcome { .. } | WorkerFrame::Reject { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "host sent a handshake frame mid-run",
+            )),
+        }
+    }
+}
+
+/// The multi-host backend: dispatches work items to a fleet of
+/// [`serve_remote_host`] worker hosts over TCP.
+///
+/// One dispatcher thread per configured host address pulls from a shared
+/// pending queue (work stealing). Crash semantics mirror
+/// [`ProcessExecutor`](crate::executor::ProcessExecutor): a host that
+/// dies mid-item has the item re-queued, only fresh-connection deaths
+/// are charged against the item's bounded retry budget, and results are
+/// deduplicated by fingerprint so a re-queued item is never merged
+/// twice. A host that is unreachable when the run starts, or that
+/// rejects the handshake (version skew), fails the run immediately.
+pub struct RemoteExecutor {
+    workers: Vec<String>,
+    max_item_retries: usize,
+}
+
+impl RemoteExecutor {
+    /// Creates a remote executor dispatching to `workers` (socket
+    /// addresses like `127.0.0.1:7461`; list an address twice for two
+    /// concurrent channels to the same host).
+    pub fn new(workers: Vec<String>) -> Self {
+        RemoteExecutor {
+            workers,
+            max_item_retries: DEFAULT_MAX_ITEM_RETRIES,
+        }
+    }
+
+    /// Sets how many fresh-connection deaths one item may cause before
+    /// the run fails.
+    #[must_use]
+    pub fn max_item_retries(mut self, retries: usize) -> Self {
+        self.max_item_retries = retries;
+        self
+    }
+}
+
+impl Executor for RemoteExecutor {
+    fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+        self.execute_observed(items, &())
+    }
+
+    fn execute_observed(
+        &self,
+        items: Vec<WorkItem>,
+        observer: &dyn ExecutionObserver,
+    ) -> Result<Vec<PartResult>, ExecutorError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.workers.is_empty() {
+            return Err(ExecutorError::new(
+                "remote backend has no worker hosts configured (add --worker ADDR)",
+            ));
+        }
+        let total = items.len();
+        let queue: Mutex<VecDeque<(WorkItem, usize)>> =
+            Mutex::new(items.into_iter().map(|item| (item, 0)).collect());
+        let results: Mutex<Vec<PartResult>> = Mutex::new(Vec::new());
+        // Fingerprints already merged — the dedup ledger that guarantees
+        // a re-queued item can never land twice.
+        let merged: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+        let fatal: Mutex<Option<ExecutorError>> = Mutex::new(None);
+        let fail = |message: String| {
+            fatal
+                .lock()
+                .expect("fatal lock")
+                .get_or_insert(ExecutorError::new(message));
+        };
+        std::thread::scope(|scope| {
+            for addr in self.workers.iter().take(total) {
+                let addr = addr.as_str();
+                let (queue, results, merged, fail) = (&queue, &results, &merged, &fail);
+                let fatal = &fatal;
+                let max_item_retries = self.max_item_retries;
+                scope.spawn(move || {
+                    let mut channel: Option<HostChannel> = None;
+                    let mut ever_connected = false;
+                    loop {
+                        if fatal.lock().expect("fatal lock").is_some() {
+                            break;
+                        }
+                        let next = queue.lock().expect("queue lock").pop_front();
+                        let Some((item, retries)) = next else {
+                            break;
+                        };
+                        if channel.is_none() {
+                            match HostChannel::connect(addr) {
+                                Ok(connected) => {
+                                    channel = Some(connected);
+                                    ever_connected = true;
+                                }
+                                Err(ConnectFailure::Refused(reason)) => {
+                                    fail(format!(
+                                        "worker host '{addr}' refused the dispatcher: {reason}"
+                                    ));
+                                    break;
+                                }
+                                Err(ConnectFailure::Dead(e)) => {
+                                    if ever_connected {
+                                        // Host loss: hand the item back and
+                                        // let the surviving hosts drain the
+                                        // queue; this thread is done.
+                                        eprintln!(
+                                            "warning: worker host '{addr}' is gone ({e}); re-queueing {}#{} for the remaining hosts",
+                                            item.scenario_id, item.part
+                                        );
+                                        queue
+                                            .lock()
+                                            .expect("queue lock")
+                                            .push_back((item, retries));
+                                        break;
+                                    }
+                                    fail(format!(
+                                        "cannot connect to worker host '{addr}': {e}"
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        let active = channel.as_mut().expect("channel just ensured");
+                        observer.item_started(&item);
+                        match active.round_trip(&item) {
+                            Ok(result) => {
+                                if let Some(error) = &result.error {
+                                    fail(format!(
+                                        "worker host '{addr}' failed on {}#{}: {error}",
+                                        item.scenario_id, item.part
+                                    ));
+                                    break;
+                                }
+                                if result.scenario_id != item.scenario_id
+                                    || result.part != item.part
+                                    || result.fingerprint != item.fingerprint
+                                {
+                                    fail(format!(
+                                        "worker host '{addr}' answered {}#{} with a result for {}#{} (protocol error)",
+                                        item.scenario_id,
+                                        item.part,
+                                        result.scenario_id,
+                                        result.part
+                                    ));
+                                    break;
+                                }
+                                active.completed += 1;
+                                let first_landing = merged
+                                    .lock()
+                                    .expect("merged lock")
+                                    .insert(result.fingerprint.clone());
+                                if first_landing {
+                                    observer.item_finished(&result);
+                                    results.lock().expect("results lock").push(result);
+                                } else {
+                                    // A half-dead host answered an item
+                                    // that was already re-queued and
+                                    // completed elsewhere.
+                                    eprintln!(
+                                        "warning: dropped a duplicate result for {}#{} from '{addr}' (fingerprint already merged)",
+                                        item.scenario_id, item.part
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                // The channel is gone or confused: drop
+                                // it, re-queue the in-flight item and
+                                // reconnect lazily on the next loop
+                                // iteration. As with worker processes,
+                                // only deaths of *fresh* connections
+                                // (no completed items) are charged to
+                                // the item — that is the toxic-item
+                                // signature.
+                                let fresh_death = channel
+                                    .take()
+                                    .map(|dead| dead.completed == 0)
+                                    .unwrap_or(true);
+                                let retries = if fresh_death { retries + 1 } else { retries };
+                                if retries > max_item_retries {
+                                    fail(format!(
+                                        "{}#{} killed {retries} fresh worker connection(s) ({e}); giving up",
+                                        item.scenario_id, item.part
+                                    ));
+                                    break;
+                                }
+                                eprintln!(
+                                    "warning: worker host '{addr}' failed while running {}#{} ({e}); re-queueing ({retries}/{} charged retries)",
+                                    item.scenario_id,
+                                    item.part,
+                                    max_item_retries
+                                );
+                                queue
+                                    .lock()
+                                    .expect("queue lock")
+                                    .push_back((item, retries));
+                            }
+                        }
+                    }
+                    // Dropping the channel closes the socket; the host
+                    // sees EOF and ends the connection cleanly.
+                });
+            }
+        });
+        if let Some(error) = fatal.into_inner().expect("fatal lock") {
+            return Err(error);
+        }
+        let stranded = queue.into_inner().expect("queue lock").len();
+        if stranded > 0 {
+            return Err(ExecutorError::new(format!(
+                "all {} worker host(s) are gone with {stranded} of {total} item(s) still queued",
+                self.workers.len()
+            )));
+        }
+        Ok(results.into_inner().expect("results lock"))
+    }
+}
+
+/// Serves one dispatcher connection: handshake, then assignments until
+/// EOF. Transport-agnostic so tests can drive it over in-memory buffers.
+///
+/// A hello with the wrong protocol version — or anything that is not a
+/// hello — is answered with [`WorkerFrame::Reject`] and an error return;
+/// a malformed assignment line is a protocol violation and terminates
+/// the connection without a response (the dispatcher charges it like a
+/// death). An unknown scenario id becomes a per-item error result, which
+/// the dispatcher treats as fatal. `completed` is the host-wide answered
+/// count shared across connections; when `crash_after_items` is
+/// `Some(n)`, the whole host process exits abruptly (status 101) upon
+/// *reading* an assignment once `n` items have been answered — the same
+/// deterministic crash-injection hook `serve_work_items` pins, here for
+/// host-loss tests.
+///
+/// # Errors
+/// Returns the underlying I/O error when the transport breaks or the
+/// dispatcher violates the protocol.
+pub fn serve_remote_connection<R, W, F>(
+    mut input: R,
+    mut output: W,
+    crash_after_items: Option<usize>,
+    completed: &AtomicUsize,
+    resolve: F,
+) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write,
+    F: Fn(&str) -> Option<Arc<dyn Scenario>>,
+{
+    let hello = match read_frame_line(&mut input)? {
+        Some(line) => line,
+        // EOF before any frame: a probe, not a dispatcher.
+        None => return Ok(()),
+    };
+    match serde_json::from_str::<DispatchFrame>(&hello) {
+        Ok(DispatchFrame::Hello { protocol }) if protocol == REMOTE_PROTOCOL_VERSION => {
+            send_frame(
+                &mut output,
+                &WorkerFrame::Welcome {
+                    protocol: REMOTE_PROTOCOL_VERSION,
+                },
+            )?;
+        }
+        Ok(DispatchFrame::Hello { protocol }) => {
+            let reason = format!(
+                "dispatcher speaks remote protocol v{protocol}, this host speaks v{REMOTE_PROTOCOL_VERSION}"
+            );
+            send_frame(
+                &mut output,
+                &WorkerFrame::Reject {
+                    reason: reason.clone(),
+                },
+            )?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
+        }
+        Ok(DispatchFrame::Assign(_)) => {
+            let reason = "assignment before handshake".to_string();
+            send_frame(
+                &mut output,
+                &WorkerFrame::Reject {
+                    reason: reason.clone(),
+                },
+            )?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
+        }
+        Err(e) => {
+            let reason = format!("unparseable hello frame: {e}");
+            send_frame(
+                &mut output,
+                &WorkerFrame::Reject {
+                    reason: reason.clone(),
+                },
+            )?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
+        }
+    }
+    loop {
+        let line = match read_frame_line(&mut input)? {
+            Some(line) => line,
+            // EOF: the dispatcher is done with this channel.
+            None => return Ok(()),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame: DispatchFrame = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed dispatch frame: {e}"),
+            )
+        })?;
+        let item = match frame {
+            DispatchFrame::Assign(item) => item,
+            DispatchFrame::Hello { .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "duplicate handshake on an established channel",
+                ))
+            }
+        };
+        if crash_after_items.is_some_and(|n| completed.load(Ordering::SeqCst) >= n) {
+            // Simulated host crash: the item was read but is never
+            // answered, and every connection dies at once.
+            std::process::exit(101);
+        }
+        let result = match resolve(&item.scenario_id) {
+            Some(scenario) => PartResult::ok(&item, run_work_item(&*scenario, &item)),
+            None => PartResult::failed(
+                &item,
+                format!(
+                    "scenario '{}' is not registered on this worker host",
+                    item.scenario_id
+                ),
+            ),
+        };
+        send_frame(&mut output, &WorkerFrame::Completed(result))?;
+        completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs a worker host: accepts dispatcher connections on `listener`
+/// forever (one thread per connection, registry resolved through
+/// `resolve`) and serves each with [`serve_remote_connection`]. The
+/// answered-items counter is host-wide, so `crash_after_items` injects
+/// one deterministic process crash no matter how connections interleave.
+///
+/// Never returns `Ok`: a worker host runs until its process is killed.
+///
+/// # Errors
+/// Returns the underlying I/O error when accepting fails outright.
+pub fn serve_remote_host<F>(
+    listener: TcpListener,
+    crash_after_items: Option<usize>,
+    resolve: F,
+) -> io::Result<()>
+where
+    F: Fn(&str) -> Option<Arc<dyn Scenario>> + Sync,
+{
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let resolve = &resolve;
+        let completed = &completed;
+        scope.spawn(move || {
+            // Mirror of the dispatcher side: request/response frames must
+            // not sit in Nagle's buffer waiting for a delayed ACK.
+            if let Err(e) = stream.set_nodelay(true) {
+                eprintln!("warning: dropping connection from {peer}: {e}");
+                return;
+            }
+            let reader = match stream.try_clone() {
+                Ok(clone) => BufReader::new(clone),
+                Err(e) => {
+                    eprintln!("warning: dropping connection from {peer}: {e}");
+                    return;
+                }
+            };
+            if let Err(e) =
+                serve_remote_connection(reader, &stream, crash_after_items, completed, resolve)
+            {
+                eprintln!("warning: connection from {peer} ended with a protocol error: {e}");
+            }
+        });
+    })
+}

@@ -173,6 +173,10 @@ pub enum Backend {
     /// Worker subprocesses launched from this command, speaking the
     /// newline-delimited JSON work-item protocol.
     Process(WorkerCommand),
+    /// A fleet of `serve-worker` hosts at these socket addresses,
+    /// speaking the same work-item frames over TCP
+    /// ([`RemoteExecutor`](crate::remote::RemoteExecutor)).
+    Remote(Vec<String>),
     /// Any user-provided executor (e.g. a remote/multi-host backend that
     /// speaks the same protocol over a different transport).
     Custom(Arc<dyn Executor>),
@@ -183,6 +187,7 @@ impl std::fmt::Debug for Backend {
         match self {
             Backend::Local => f.write_str("Local"),
             Backend::Process(command) => f.debug_tuple("Process").field(command).finish(),
+            Backend::Remote(workers) => f.debug_tuple("Remote").field(workers).finish(),
             Backend::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -545,6 +550,8 @@ impl Runner {
                     .jobs(self.jobs)
                     .execute_observed(pending, &forward)
             }
+            Backend::Remote(workers) => crate::remote::RemoteExecutor::new(workers.clone())
+                .execute_observed(pending, &forward),
             Backend::Custom(executor) => executor.execute_observed(pending, &forward),
         }
     }

@@ -55,7 +55,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheStats, ResultCache};
+use crate::cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache};
 use crate::executor::WorkerCommand;
 use crate::runner::{
     Backend, PartEvent, RunObserver, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem,
@@ -109,6 +109,9 @@ pub enum BackendSpec {
     /// Worker subprocesses ([`Backend::Process`]); requires the service
     /// to be configured with a [`WorkerCommand`].
     Process,
+    /// A `serve-worker` fleet over TCP ([`Backend::Remote`]); requires
+    /// worker host addresses on the job or in the service configuration.
+    Remote,
 }
 
 /// The intra-item thread budget a job asks for, on the wire (mirrors
@@ -160,6 +163,9 @@ pub struct JobSpec {
     pub jobs: Option<usize>,
     /// Execution backend (default: the service's configuration).
     pub backend: Option<BackendSpec>,
+    /// Worker host addresses for [`BackendSpec::Remote`] jobs (default:
+    /// the service's configuration).
+    pub workers: Option<Vec<String>>,
     /// Intra-item thread budget (default: the service's configuration).
     pub threads_per_item: Option<ThreadsSpec>,
 }
@@ -295,6 +301,10 @@ pub struct ServiceConfig {
     /// How to launch worker subprocesses for [`BackendSpec::Process`]
     /// jobs; `None` makes process-backend submissions fail cleanly.
     pub worker_command: Option<WorkerCommand>,
+    /// Default worker host addresses for [`BackendSpec::Remote`] jobs;
+    /// empty makes remote submissions without their own `workers` fail
+    /// cleanly.
+    pub workers: Vec<String>,
     /// Default intra-item thread budget.
     pub threads_per_item: ThreadsPerItem,
     /// The shared result cache every job resolves against; `None` runs
@@ -308,6 +318,7 @@ impl Default for ServiceConfig {
             jobs: 1,
             backend: BackendSpec::Local,
             worker_command: None,
+            workers: Vec::new(),
             threads_per_item: ThreadsPerItem::Sequential,
             cache: None,
         }
@@ -407,8 +418,8 @@ impl Service {
         }
     }
 
-    fn resolve_backend(&self, requested: Option<BackendSpec>) -> Result<Backend, String> {
-        match requested.unwrap_or(self.config.backend) {
+    fn resolve_backend(&self, spec: &JobSpec) -> Result<Backend, String> {
+        match spec.backend.unwrap_or(self.config.backend) {
             BackendSpec::Local => Ok(Backend::Local),
             BackendSpec::Process => self
                 .config
@@ -420,6 +431,20 @@ impl Service {
                      the process backend is unavailable"
                         .to_string()
                 }),
+            BackendSpec::Remote => {
+                let workers = spec
+                    .workers
+                    .clone()
+                    .filter(|workers| !workers.is_empty())
+                    .unwrap_or_else(|| self.config.workers.clone());
+                if workers.is_empty() {
+                    Err("this service has no worker hosts configured; \
+                         the remote backend is unavailable"
+                        .to_string())
+                } else {
+                    Ok(Backend::Remote(workers))
+                }
+            }
         }
     }
 
@@ -449,14 +474,33 @@ impl Service {
                 return;
             }
         };
-        let backend = match self.resolve_backend(spec.backend) {
-            Ok(backend) => backend,
-            Err(message) => {
-                sink.send(&Event::Error { job: None, message });
-                return;
+        let params = spec.params();
+        // Summary memoization: when every planned part is already a
+        // *validated* cache hit (and the job is not a refresh), the run
+        // replays entirely from the cache, so no backend dispatch is
+        // planned at all — a fully-cached submission returns `Done` even
+        // when its requested backend is currently unavailable (a remote
+        // fleet that went home, a missing worker command).
+        let fully_cached = !spec.refresh.unwrap_or(false)
+            && self.config.cache.as_ref().is_some_and(|cache| {
+                selected.iter().all(|scenario| {
+                    (0..scenario.parts(&params).max(1)).all(|part| {
+                        let fingerprint = PartFingerprint::compute(&**scenario, part, &params);
+                        matches!(cache.lookup(&fingerprint), CacheLookup::Hit(_))
+                    })
+                })
+            });
+        let backend = if fully_cached {
+            Backend::Local
+        } else {
+            match self.resolve_backend(spec) {
+                Ok(backend) => backend,
+                Err(message) => {
+                    sink.send(&Event::Error { job: None, message });
+                    return;
+                }
             }
         };
-        let params = spec.params();
         let parts_total: usize = selected.iter().map(|s| s.parts(&params).max(1)).sum();
         let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
         {
@@ -1087,6 +1131,51 @@ mod tests {
             panic!("expected rejection, got {:?}", events[0]);
         };
         assert!(message.contains("no worker command"), "{message}");
+    }
+
+    #[test]
+    fn remote_backend_without_worker_hosts_fails_cleanly() {
+        let service = service(None);
+        let spec = JobSpec {
+            backend: Some(BackendSpec::Remote),
+            ..JobSpec::default()
+        };
+        let events = roundtrip(&service, &[submit_frame(&spec)]);
+        let Event::Error { job: None, message } = &events[0] else {
+            panic!("expected rejection, got {:?}", events[0]);
+        };
+        assert!(message.contains("no worker hosts"), "{message}");
+    }
+
+    #[test]
+    fn fully_cached_submission_never_plans_a_backend_dispatch() {
+        let (cache, dir) = temp_cache("memo");
+        let service = service(Some(cache));
+        let cold = roundtrip(&service, &[submit_frame(&spec_with_seed(11))]);
+        let (_, cold_summary, _) = done_frame(&cold);
+        // The sentinel: a remote submission with no fleet configured can
+        // only succeed if the memoized summary short-circuits before the
+        // backend is resolved.
+        let spec = JobSpec {
+            backend: Some(BackendSpec::Remote),
+            ..spec_with_seed(11)
+        };
+        let warm = roundtrip(&service, &[submit_frame(&spec)]);
+        let (_, warm_summary, warm_stats) = done_frame(&warm);
+        assert!(warm_stats.expect("cached service reports stats").all_hits());
+        assert_eq!(cold_summary.to_json(), warm_summary.to_json());
+        // refresh=true must bypass the memoized summary and fail on the
+        // missing fleet — a forced re-run really re-runs.
+        let refresh = JobSpec {
+            refresh: Some(true),
+            ..spec.clone()
+        };
+        let events = roundtrip(&service, &[submit_frame(&refresh)]);
+        let Event::Error { message, .. } = &events[0] else {
+            panic!("refresh must reach the backend, got {:?}", events[0]);
+        };
+        assert!(message.contains("no worker hosts"), "{message}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,11 +4,19 @@
 //! one message per line, parse(render(m)) == m, no embedded newlines —
 //! and the simulation service's job API ([`Request`]/[`Event`] frames,
 //! with every payload type they embed) must survive the same framing.
+//! The remote backend's handshake/assignment frames
+//! ([`DispatchFrame`]/[`WorkerFrame`]) ride the same one-line-JSON
+//! contract, and the worker-host side must *reject* — never execute —
+//! malformed or version-skewed handshakes.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use sim::executor::{PartResult, WorkItem};
 use sim::experiment::{ExperimentReport, Series};
-use sim::scenario_api::ScenarioParams;
+use sim::remote::{serve_remote_connection, DispatchFrame, WorkerFrame, REMOTE_PROTOCOL_VERSION};
+use sim::scenario_api::{Scenario, ScenarioParams};
 use sim::service::{Event, Request};
 use sim::{
     BackendSpec, CacheStats, JobSpec, JobState, JobStatus, PartEvent, PartState, RunSummary,
@@ -166,12 +174,13 @@ fn job_spec_strategy() -> impl Strategy<Value = JobSpec> {
         (
             opt(any::<bool>()),
             opt(1usize..9),
-            opt(any::<bool>()),
+            opt(0u8..3),
+            opt(prop::collection::vec(ident_strategy(), 0..3)),
             opt((0u8..3, 1usize..9)),
         ),
     )
         .prop_map(
-            |((only, seed, full_scale, overrides), (refresh, jobs, process_backend, threads))| {
+            |((only, seed, full_scale, overrides), (refresh, jobs, backend, workers, threads))| {
                 JobSpec {
                     only,
                     seed,
@@ -179,13 +188,12 @@ fn job_spec_strategy() -> impl Strategy<Value = JobSpec> {
                     overrides: overrides.map(|pairs| pairs.into_iter().collect()),
                     refresh,
                     jobs,
-                    backend: process_backend.map(|process| {
-                        if process {
-                            BackendSpec::Process
-                        } else {
-                            BackendSpec::Local
-                        }
+                    backend: backend.map(|variant| match variant {
+                        0 => BackendSpec::Local,
+                        1 => BackendSpec::Process,
+                        _ => BackendSpec::Remote,
                     }),
+                    workers,
                     threads_per_item: threads.map(|(variant, count)| match variant {
                         0 => ThreadsSpec::Sequential,
                         1 => ThreadsSpec::Auto,
@@ -194,6 +202,29 @@ fn job_spec_strategy() -> impl Strategy<Value = JobSpec> {
                 }
             },
         )
+}
+
+fn dispatch_frame_strategy() -> impl Strategy<Value = DispatchFrame> {
+    (0u8..2, any::<u32>(), work_item_strategy()).prop_map(|(variant, protocol, item)| match variant
+    {
+        0 => DispatchFrame::Hello { protocol },
+        _ => DispatchFrame::Assign(item),
+    })
+}
+
+fn worker_frame_strategy() -> impl Strategy<Value = WorkerFrame> {
+    (
+        0u8..3,
+        any::<u32>(),
+        ident_strategy(),
+        work_item_strategy(),
+        prop::collection::vec(report_strategy(), 0..3),
+    )
+        .prop_map(|(variant, protocol, reason, item, reports)| match variant {
+            0 => WorkerFrame::Welcome { protocol },
+            1 => WorkerFrame::Reject { reason },
+            _ => WorkerFrame::Completed(PartResult::ok(&item, reports)),
+        })
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
@@ -346,6 +377,22 @@ proptest! {
         let parsed: Event = serde_json::from_str(&line).unwrap();
         prop_assert_eq!(parsed, event);
     }
+
+    #[test]
+    fn dispatch_frames_roundtrip_the_line_protocol(frame in dispatch_frame_strategy()) {
+        let line = serde_json::to_string(&frame).unwrap();
+        prop_assert!(!line.contains('\n'), "one frame per line: {line}");
+        let parsed: DispatchFrame = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn worker_frames_roundtrip_the_line_protocol(frame in worker_frame_strategy()) {
+        let line = serde_json::to_string(&frame).unwrap();
+        prop_assert!(!line.contains('\n'), "one frame per line: {line}");
+        let parsed: WorkerFrame = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
 }
 
 #[test]
@@ -357,4 +404,164 @@ fn absent_job_spec_fields_fall_back_to_defaults() {
     // And the defaults resolve to the one-shot CLI's parameters.
     let params = JobSpec::default().params();
     assert_eq!(params, ScenarioParams::default());
+}
+
+/// One-part toy scenario so the worker-host loop has something to run.
+struct Toy;
+
+impl Scenario for Toy {
+    fn id(&self) -> &str {
+        "toy"
+    }
+    fn title(&self) -> &str {
+        "toy"
+    }
+    fn run_part(
+        &self,
+        _part: usize,
+        _params: &ScenarioParams,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> Vec<ExperimentReport> {
+        vec![ExperimentReport::new("toy", "toy", "x", "y")]
+    }
+}
+
+/// Drives [`serve_remote_connection`] over in-memory buffers: `lines`
+/// become the dispatcher's input; returns the loop outcome and the
+/// worker frames it wrote back.
+fn serve_lines(lines: &[&str]) -> (std::io::Result<()>, Vec<WorkerFrame>) {
+    let input = lines
+        .iter()
+        .map(|line| format!("{line}\n"))
+        .collect::<String>();
+    let mut output = Vec::new();
+    let completed = AtomicUsize::new(0);
+    let outcome = serve_remote_connection(input.as_bytes(), &mut output, None, &completed, |id| {
+        (id == "toy").then(|| Arc::new(Toy) as Arc<dyn Scenario>)
+    });
+    let frames = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|line| serde_json::from_str(line).unwrap())
+        .collect();
+    (outcome, frames)
+}
+
+fn hello() -> String {
+    serde_json::to_string(&DispatchFrame::Hello {
+        protocol: REMOTE_PROTOCOL_VERSION,
+    })
+    .unwrap()
+}
+
+fn assign(scenario_id: &str) -> String {
+    serde_json::to_string(&DispatchFrame::Assign(WorkItem {
+        scenario_id: scenario_id.to_string(),
+        part: 0,
+        part_seed: 7,
+        fingerprint: "f".repeat(64),
+        params: ScenarioParams::default(),
+        threads: 1,
+    }))
+    .unwrap()
+}
+
+#[test]
+fn worker_host_welcomes_a_matching_dispatcher_and_answers_items() {
+    let (outcome, frames) = serve_lines(&[&hello(), &assign("toy")]);
+    outcome.unwrap();
+    assert_eq!(frames.len(), 2, "welcome then one result: {frames:?}");
+    assert_eq!(
+        frames[0],
+        WorkerFrame::Welcome {
+            protocol: REMOTE_PROTOCOL_VERSION
+        }
+    );
+    match &frames[1] {
+        WorkerFrame::Completed(result) => {
+            assert!(result.error.is_none(), "toy part must succeed: {result:?}");
+            assert_eq!(result.scenario_id, "toy");
+        }
+        other => panic!("expected a completed result, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_host_rejects_a_version_skewed_dispatcher() {
+    let skewed = serde_json::to_string(&DispatchFrame::Hello {
+        protocol: REMOTE_PROTOCOL_VERSION + 1,
+    })
+    .unwrap();
+    let (outcome, frames) = serve_lines(&[&skewed, &assign("toy")]);
+    outcome.unwrap_err();
+    assert_eq!(frames.len(), 1, "reject and stop: {frames:?}");
+    match &frames[0] {
+        WorkerFrame::Reject { reason } => {
+            assert!(
+                reason.contains("protocol"),
+                "reason names the skew: {reason}"
+            )
+        }
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_host_rejects_a_garbage_hello() {
+    let (outcome, frames) = serve_lines(&["{\"not\": \"a frame\"}"]);
+    outcome.unwrap_err();
+    assert!(
+        matches!(&frames[..], [WorkerFrame::Reject { .. }]),
+        "garbage handshake draws a rejection, nothing runs: {frames:?}"
+    );
+}
+
+#[test]
+fn worker_host_rejects_an_assignment_before_the_handshake() {
+    let (outcome, frames) = serve_lines(&[&assign("toy")]);
+    outcome.unwrap_err();
+    assert!(
+        matches!(&frames[..], [WorkerFrame::Reject { .. }]),
+        "no handshake, no work: {frames:?}"
+    );
+}
+
+#[test]
+fn worker_host_dies_on_a_malformed_assignment_without_answering_it() {
+    let (outcome, frames) = serve_lines(&[&hello(), "not json at all"]);
+    let error = outcome.unwrap_err();
+    assert_eq!(error.kind(), std::io::ErrorKind::InvalidData);
+    assert_eq!(
+        frames,
+        vec![WorkerFrame::Welcome {
+            protocol: REMOTE_PROTOCOL_VERSION
+        }],
+        "a malformed frame terminates the connection before any result"
+    );
+}
+
+#[test]
+fn worker_host_answers_unknown_scenarios_with_a_failed_result() {
+    let (outcome, frames) = serve_lines(&[&hello(), &assign("nonesuch")]);
+    outcome.unwrap();
+    match &frames[..] {
+        [WorkerFrame::Welcome { .. }, WorkerFrame::Completed(result)] => {
+            assert!(result.error.is_some(), "unknown scenario fails the item");
+            assert!(
+                result.error.as_deref().unwrap_or("").contains("nonesuch"),
+                "error names the missing scenario: {:?}",
+                result.error
+            );
+        }
+        other => panic!("expected welcome + failed result, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_host_treats_a_probe_connection_as_clean() {
+    // Port scanners and health checks connect and immediately hang up;
+    // that must not be a protocol error.
+    let (outcome, frames) = serve_lines(&[]);
+    outcome.unwrap();
+    assert!(frames.is_empty(), "no hello, no frames: {frames:?}");
 }
