@@ -94,6 +94,8 @@ struct Options {
     backend: BackendChoice,
     workers: Vec<String>,
     threads_per_item: ThreadsPerItem,
+    faults: Vec<String>,
+    remote_deadline_ms: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,19 @@ Options:
   --worker ADDR       remote worker host address, repeatable (requires
                       --backend remote; list an address twice for two
                       concurrent channels to the same host)
+  --remote-deadline-ms MS
+                      per-item reply deadline for --backend remote
+                      (default: 60000). A host that accepts work but
+                      does not answer within MS is abandoned and its
+                      items re-queue on the surviving fleet
+  --faults POINT=SPEC deterministic fault injection, repeatable; also
+                      via env ONIONBOTS_FAULTS (';'-separated). SPEC is
+                      ACTION[:MILLIS]@ORDINALS with ACTION one of
+                      err|delay|hang|crash|partial and ORDINALS 1-based
+                      hit counts like 2 or 3,5 or 4.. (open range).
+                      Example: --faults remote.read=err@2
+                      Schedules are exported to process-backend workers;
+                      remote hosts arm from their own environment
   --seed N            base RNG seed (default: 2015)
   --set KEY=VALUE     scenario override, repeatable (e.g. --set steps=5)
   --out DIR           also write per-report .json/.csv files and summary.json
@@ -160,6 +175,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         backend: BackendChoice::Local,
         workers: Vec::new(),
         threads_per_item: ThreadsPerItem::Auto,
+        faults: Vec::new(),
+        remote_deadline_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -239,6 +256,25 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--worker" => options.workers.push(value_for("--worker")?),
+            "--remote-deadline-ms" => {
+                let value = value_for("--remote-deadline-ms")?;
+                options.remote_deadline_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&ms| ms >= 1)
+                        .ok_or_else(|| {
+                            format!("invalid --remote-deadline-ms value '{value}' (MS >= 1)")
+                        })?,
+                );
+            }
+            "--faults" => {
+                let value = value_for("--faults")?;
+                // Validate eagerly so a typo'd point name fails the
+                // invocation instead of silently never firing.
+                sim::faults::parse_entry(&value)?;
+                options.faults.push(value);
+            }
             "--out" => options.out = Some(value_for("--out")?),
             "--cache-dir" => options.cache_dir = Some(value_for("--cache-dir")?),
             "--no-cache" => options.no_cache = true,
@@ -263,6 +299,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if options.backend != BackendChoice::Remote && !options.workers.is_empty() {
         return Err("--worker is only valid together with --backend remote".to_string());
+    }
+    if options.backend != BackendChoice::Remote && options.remote_deadline_ms.is_some() {
+        return Err(
+            "--remote-deadline-ms is only valid together with --backend remote".to_string(),
+        );
     }
     Ok(options)
 }
@@ -374,6 +415,25 @@ fn main() -> ExitCode {
             .ok()
             .filter(|dir| !dir.is_empty()),
     };
+    // The combined fault schedule: the environment's entries first, then
+    // every --faults flag. Arming is all-or-nothing — a typo anywhere
+    // fails the invocation rather than running with half a schedule.
+    let fault_schedule = {
+        let mut entries: Vec<String> = std::env::var(sim::FAULTS_ENV)
+            .ok()
+            .filter(|schedule| !schedule.is_empty())
+            .into_iter()
+            .collect();
+        entries.extend(options.faults.iter().cloned());
+        entries.join(";")
+    };
+    if !fault_schedule.is_empty() {
+        if let Err(error) = sim::faults::arm_schedule(&fault_schedule) {
+            eprintln!("error: invalid fault schedule: {error}");
+            return ExitCode::from(2);
+        }
+        eprintln!("fault injection armed: {fault_schedule}");
+    }
     let backend = match options.backend {
         BackendChoice::Local => Backend::Local,
         BackendChoice::Process => {
@@ -386,7 +446,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            Backend::Process(WorkerCommand::new(exe).arg("worker"))
+            // Worker subprocesses inherit the full schedule, so
+            // worker-side failpoints (worker.item) fire in them with
+            // their own per-process hit counters.
+            let mut command = WorkerCommand::new(exe).arg("worker");
+            if !fault_schedule.is_empty() {
+                command = command.env(sim::FAULTS_ENV, &fault_schedule);
+            }
+            Backend::Process(command)
         }
         BackendChoice::Remote => Backend::Remote(options.workers.clone()),
     };
@@ -394,6 +461,9 @@ fn main() -> ExitCode {
         .jobs(options.jobs)
         .backend(backend)
         .threads_per_item(options.threads_per_item);
+    if let Some(millis) = options.remote_deadline_ms {
+        runner = runner.remote_deadline_ms(millis);
+    }
     let mut cache_active = false;
     if let Some(dir) = cache_dir {
         // An unusable cache location degrades to an uncached run: caching

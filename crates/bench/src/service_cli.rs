@@ -153,6 +153,12 @@ Options:
                       (used by --backend remote jobs)
   --threads-per-item T
                       default intra-item thread budget: auto or N >= 1
+  --max-jobs N        admission bound: at most N jobs run concurrently;
+                      further submissions are answered with a Rejected
+                      frame instead of queueing (default: 8)
+  --remote-deadline-ms MS
+                      per-item reply deadline for remote-backend jobs
+                      (default: 60000)
   --cache-dir DIR     shared result cache for every job
                       (default: env ONIONBOTS_CACHE_DIR; unset = no cache)
   --no-cache          run every job uncached
@@ -168,6 +174,8 @@ struct ServeOptions {
     backend: BackendSpec,
     workers: Vec<String>,
     threads_per_item: ThreadsPerItem,
+    max_active_jobs: usize,
+    remote_deadline_ms: Option<u64>,
     cache_dir: Option<String>,
     no_cache: bool,
 }
@@ -179,6 +187,8 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         backend: BackendSpec::Local,
         workers: Vec::new(),
         threads_per_item: ThreadsPerItem::Auto,
+        max_active_jobs: sim::service::DEFAULT_MAX_ACTIVE_JOBS,
+        remote_deadline_ms: None,
         cache_dir: None,
         no_cache: false,
     };
@@ -212,6 +222,20 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                 options.threads_per_item =
                     parse_threads_per_item(&value_for("--threads-per-item")?)?;
             }
+            "--max-jobs" => {
+                let value = value_for("--max-jobs")?;
+                options.max_active_jobs =
+                    value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("invalid --max-jobs value '{value}' (need N >= 1)")
+                    })?;
+            }
+            "--remote-deadline-ms" => {
+                let value = value_for("--remote-deadline-ms")?;
+                options.remote_deadline_ms =
+                    Some(value.parse().ok().filter(|&ms| ms >= 1).ok_or_else(|| {
+                        format!("invalid --remote-deadline-ms value '{value}' (need MS >= 1)")
+                    })?);
+            }
             "--cache-dir" => options.cache_dir = Some(value_for("--cache-dir")?),
             "--no-cache" => options.no_cache = true,
             "--help" | "-h" => {
@@ -237,6 +261,14 @@ pub fn serve_main(args: &[String], stop: &AtomicBool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Daemon-side failpoints (`service.job`, `service.sink`, the backend
+    // points) arm from the environment, exactly like worker processes. A
+    // bad schedule fails startup loudly — a daemon running with half a
+    // chaos schedule would be worse than no daemon at all.
+    if let Err(error) = sim::faults::arm_from_env() {
+        eprintln!("error: invalid {} schedule: {error}", sim::FAULTS_ENV);
+        return ExitCode::from(2);
+    }
     let cache_dir = match (options.no_cache, &options.cache_dir) {
         (true, _) => None,
         (false, Some(dir)) => Some(dir.clone()),
@@ -274,6 +306,8 @@ pub fn serve_main(args: &[String], stop: &AtomicBool) -> ExitCode {
             worker_command,
             workers: options.workers,
             threads_per_item: options.threads_per_item,
+            max_active_jobs: options.max_active_jobs,
+            remote_deadline_ms: options.remote_deadline_ms,
             cache,
         },
     );
@@ -536,6 +570,14 @@ fn run_submit(options: &SubmitOptions) -> Result<(), String> {
                     None => message,
                 })
             }
+            Event::Rejected { reason } => {
+                return Err(format!("the service refused the job: {reason}"))
+            }
+            Event::Cancelled { job } => {
+                return Err(format!(
+                    "job {job} was cancelled before completion; no summary was produced"
+                ))
+            }
             Event::ShuttingDown => {
                 return Err("the service is shutting down; the job was not accepted".to_string())
             }
@@ -574,11 +616,13 @@ Options:
   --tcp ADDR          connect to the daemon's TCP address
   --job N             show only job N (default: every job)
   --list              list the daemon's scenarios instead of its jobs
+  --cancel N          cancel running job N: its pending items are drained
+                      and nothing is written to the shared cache
   --shutdown          ask the daemon to drain and exit
   --help              show this help
 
 Output is pretty-printed JSON (the job table, the scenario listing, or
-a shutdown acknowledgement).
+a shutdown/cancel acknowledgement).
 ";
 
 struct StatusOptions {
@@ -590,6 +634,7 @@ fn parse_status_options(args: &[String]) -> Result<StatusOptions, String> {
     let mut transport = None;
     let mut job = None;
     let mut list = false;
+    let mut cancel = None;
     let mut shutdown = false;
     let mut i = 0;
     while i < args.len() {
@@ -614,6 +659,18 @@ fn parse_status_options(args: &[String]) -> Result<StatusOptions, String> {
                 );
             }
             "--list" => list = true,
+            "--cancel" => {
+                let value = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--cancel requires a value".to_string())?;
+                i += 1;
+                cancel = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid --cancel value '{value}'"))?,
+                );
+            }
             "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 print!("{STATUS_USAGE}");
@@ -626,6 +683,8 @@ fn parse_status_options(args: &[String]) -> Result<StatusOptions, String> {
         transport.ok_or_else(|| "status needs --socket PATH or --tcp ADDR".to_string())?;
     let request = if shutdown {
         Request::Shutdown
+    } else if let Some(job) = cancel {
+        Request::Cancel { job }
     } else if list {
         Request::List
     } else {
@@ -646,6 +705,7 @@ fn run_status(options: &StatusOptions) -> Result<(), String> {
             serde_json::to_string_pretty(&infos).expect("scenario listing serializes")
         ),
         Event::ShuttingDown => eprintln!("service acknowledged shutdown; draining"),
+        Event::Cancelled { job } => eprintln!("job {job} cancelled; its pending items are drained"),
         Event::Error { message, .. } => return Err(message),
         other => return Err(format!("unexpected frame from the service: {other:?}")),
     }
@@ -692,6 +752,10 @@ mod tests {
             "process",
             "--threads-per-item",
             "2",
+            "--max-jobs",
+            "2",
+            "--remote-deadline-ms",
+            "3000",
             "--no-cache",
         ]))
         .unwrap();
@@ -699,9 +763,22 @@ mod tests {
         assert_eq!(options.jobs, 4);
         assert_eq!(options.backend, BackendSpec::Process);
         assert_eq!(options.threads_per_item, ThreadsPerItem::Fixed(2));
+        assert_eq!(options.max_active_jobs, 2);
+        assert_eq!(options.remote_deadline_ms, Some(3000));
         assert!(options.no_cache);
+        let defaults = parse_serve_options(&args(&["--socket", "/tmp/svc.sock"])).unwrap();
+        assert_eq!(
+            defaults.max_active_jobs,
+            sim::service::DEFAULT_MAX_ACTIVE_JOBS
+        );
+        assert_eq!(defaults.remote_deadline_ms, None);
         assert!(parse_serve_options(&args(&["--socket"])).is_err());
         assert!(parse_serve_options(&args(&["--socket", "p", "--backend", "warp"])).is_err());
+        assert!(parse_serve_options(&args(&["--socket", "p", "--max-jobs", "0"])).is_err());
+        assert!(
+            parse_serve_options(&args(&["--socket", "p", "--remote-deadline-ms", "never"]))
+                .is_err()
+        );
     }
 
     #[test]
@@ -764,6 +841,9 @@ mod tests {
         assert_eq!(list.request, Request::List);
         let stop = parse_status_options(&args(&["--socket", "/tmp/s", "--shutdown"])).unwrap();
         assert_eq!(stop.request, Request::Shutdown);
+        let cancel = parse_status_options(&args(&["--socket", "/tmp/s", "--cancel", "3"])).unwrap();
+        assert_eq!(cancel.request, Request::Cancel { job: 3 });
+        assert!(parse_status_options(&args(&["--socket", "/tmp/s", "--cancel", "x"])).is_err());
         assert!(
             parse_status_options(&args(&["--job", "1"])).is_err(),
             "no transport"

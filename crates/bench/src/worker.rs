@@ -36,7 +36,43 @@ use crate::scenarios;
 /// re-queued by the parent — exactly the failure mode a real worker
 /// death produces. Respawned workers inherit the variable, so every
 /// incarnation survives `N` items; any `N >= 1` still converges.
+///
+/// This legacy hook is now sugar over the general failpoint layer
+/// ([`sim::faults`]): it translates to `worker.item=crash@{N+1}` (and
+/// `remote.host.item=crash@{N+1}` for worker hosts). Richer schedules —
+/// delays, injected I/O errors, open-ended ranges — arm directly via
+/// [`sim::FAULTS_ENV`].
 pub const CRASH_AFTER_ENV: &str = "ONIONBOTS_WORKER_CRASH_AFTER_ITEMS";
+
+/// Arms this process's failpoint plan from the environment: first the
+/// general [`sim::FAULTS_ENV`] schedule, then the legacy
+/// [`CRASH_AFTER_ENV`] hook translated onto the `worker.item` /
+/// `remote.host.item` crash points (the failpoint fires *before* an item
+/// is answered, so hit `N + 1` crashes with exactly `N` items completed
+/// — the documented legacy semantics).
+fn arm_worker_faults() {
+    if let Err(error) = sim::faults::arm_from_env() {
+        // A bad schedule disables injection rather than killing a worker
+        // that real work was dispatched to.
+        eprintln!(
+            "warning: ignoring invalid {} schedule: {error}",
+            sim::FAULTS_ENV
+        );
+    }
+    // detlint: allow(D003) reason="test-only crash-injection hook; read once at worker startup and never visible in results (a crashed worker's items re-queue elsewhere)"
+    let crash_after = std::env::var(CRASH_AFTER_ENV)
+        .ok()
+        .and_then(|raw| raw.parse::<u64>().ok());
+    if let Some(items) = crash_after {
+        for point in [
+            sim::faults::points::WORKER_ITEM,
+            sim::faults::points::REMOTE_HOST_ITEM,
+        ] {
+            sim::faults::arm(&format!("{point}=crash@{}", items + 1))
+                .expect("the translated legacy schedule always parses");
+        }
+    }
+}
 
 /// Runs the worker loop over stdin/stdout until EOF.
 ///
@@ -46,15 +82,10 @@ pub const CRASH_AFTER_ENV: &str = "ONIONBOTS_WORKER_CRASH_AFTER_ITEMS";
 /// condition).
 pub fn run_worker() -> io::Result<()> {
     let registry = scenarios::registry();
-    // detlint: allow(D003) reason="test-only crash-injection hook; read once at worker startup and never visible in results (a crashed worker's items re-queue elsewhere)"
-    let crash_after = std::env::var(CRASH_AFTER_ENV)
-        .ok()
-        .and_then(|raw| raw.parse::<usize>().ok());
+    arm_worker_faults();
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_work_items(stdin.lock(), stdout.lock(), crash_after, |id| {
-        registry.get(id)
-    })
+    serve_work_items(stdin.lock(), stdout.lock(), |id| registry.get(id))
 }
 
 /// Usage text for the `serve-worker` subcommand.
@@ -126,15 +157,12 @@ pub fn serve_worker_main(args: &[String]) -> ExitCode {
     // this lands before the accept loop blocks.)
     println!("{bound}");
     let registry = scenarios::registry();
-    // detlint: allow(D003) reason="test-only crash-injection hook shared with worker mode; read once at host startup and never visible in results (a crashed host's items re-queue on the surviving fleet)"
-    let crash_after = std::env::var(CRASH_AFTER_ENV)
-        .ok()
-        .and_then(|raw| raw.parse::<usize>().ok());
+    arm_worker_faults();
     eprintln!(
         "worker host: serving {} scenario(s) on {bound}",
         registry.len()
     );
-    match serve_remote_host(listener, crash_after, |id| registry.get(id)) {
+    match serve_remote_host(listener, |id| registry.get(id)) {
         // The accept loop never returns Ok; a worker host runs until
         // killed.
         Ok(()) => ExitCode::SUCCESS,
@@ -157,7 +185,7 @@ mod tests {
     fn serve(lines: &str) -> Vec<PartResult> {
         let registry = scenarios::registry();
         let mut output = Vec::new();
-        serve_work_items(lines.as_bytes(), &mut output, None, |id| registry.get(id)).unwrap();
+        serve_work_items(lines.as_bytes(), &mut output, |id| registry.get(id)).unwrap();
         std::str::from_utf8(&output)
             .unwrap()
             .lines()

@@ -142,6 +142,59 @@ fn a_host_killed_mid_run_requeues_its_items_and_the_output_is_unchanged() {
     assert_eq!(summary.to_json(), reference.to_json());
 }
 
+/// A *hung* in-test "host": completes the handshake, then reads
+/// assignments forever without ever answering one. Unlike a killed host
+/// the connection stays open, so only the per-item deadline can unstick
+/// the dispatcher thread that fed it.
+fn spawn_hung_host() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                continue;
+            }
+            let welcome = serde_json::to_string(&WorkerFrame::Welcome {
+                protocol: REMOTE_PROTOCOL_VERSION,
+            })
+            .unwrap();
+            if writeln!(writer, "{welcome}").is_err() {
+                continue;
+            }
+            // Swallow every assignment without replying until the
+            // dispatcher gives up and closes the connection.
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn a_hung_host_is_abandoned_after_the_deadline_and_its_items_requeue() {
+    let reference = Runner::new(params(9)).run(&selected());
+    // One healthy host, one that accepts work and never answers. The
+    // per-item deadline must cut the hung channel loose and re-queue its
+    // in-flight item on the survivor — same bytes, no stall, no retry
+    // charge against the item.
+    let real = WorkerHost::spawn(None);
+    let hung = spawn_hung_host();
+    let summary = Runner::new(params(9))
+        .jobs(2)
+        .remote_deadline_ms(1_500)
+        .backend(Backend::Remote(vec![real.addr.clone(), hung]))
+        .run(&selected());
+    assert_eq!(summary.to_json(), reference.to_json());
+}
+
 /// An adversarial in-test "host": completes the handshake, then answers
 /// every assignment with a corrupt line, on every connection, forever.
 /// Unlike a killed host it stays reachable, so the dispatcher's

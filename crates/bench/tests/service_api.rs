@@ -12,7 +12,7 @@
 #![cfg(unix)]
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -288,6 +288,143 @@ fn sigterm_drains_an_inflight_job_despite_crashing_workers_then_exits_zero() {
     assert_eq!(daemon.wait_for_exit(), 0);
     // And the socket is gone: no half-dead endpoint is left behind.
     assert!(!daemon.socket.exists(), "socket file survived the shutdown");
+}
+
+#[test]
+fn a_full_daemon_rejects_submissions_instead_of_queueing() {
+    // One job slot, and a `service.job` delay failpoint that holds the
+    // first accepted job in Running long enough to probe the admission
+    // bound without a timing race.
+    let daemon = Daemon::spawn(
+        "admission",
+        false,
+        &["--max-jobs", "1"],
+        &[("ONIONBOTS_FAULTS", "service.job=delay:3000@1")],
+    );
+    let a = daemon.connect();
+    let mut a_writer = a.try_clone().unwrap();
+    let mut a_reader = BufReader::new(a);
+    send_frame(&mut a_writer, &Request::Submit(fig6_spec(21)));
+    match read_event(&mut a_reader) {
+        Event::Accepted { .. } => {}
+        other => panic!("expected acceptance, got {other:?}"),
+    }
+    // The second submission bounces with Rejected — nothing queues, the
+    // connection survives, and no job row is created for it.
+    let b = daemon.connect();
+    let mut b_writer = b.try_clone().unwrap();
+    let mut b_reader = BufReader::new(b);
+    send_frame(&mut b_writer, &Request::Submit(fig6_spec(22)));
+    match read_event(&mut b_reader) {
+        Event::Rejected { reason } => assert!(reason.contains("full"), "{reason}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    send_frame(&mut b_writer, &Request::Status { job: None });
+    match read_event(&mut b_reader) {
+        Event::Jobs(jobs) => assert_eq!(jobs.len(), 1, "a rejected job left a row: {jobs:?}"),
+        other => panic!("expected the job table, got {other:?}"),
+    }
+    // The occupying job still completes with the reference bytes...
+    let summary = loop {
+        match read_event(&mut a_reader) {
+            Event::Done { summary, .. } => break summary,
+            Event::Error { job, message } => panic!("job {job:?} failed: {message}"),
+            _ => {}
+        }
+    };
+    assert_eq!(summary.to_json(), fig6_reference(21).to_json());
+    // ... which frees the slot: the bounced client's retry is admitted.
+    let (retry, _, _) = submit(daemon.connect(), &fig6_spec(22));
+    assert_eq!(retry.to_json(), fig6_reference(22).to_json());
+}
+
+#[test]
+fn cancel_over_the_wire_drains_the_job_and_never_warms_the_cache() {
+    // The delay failpoint holds job 1 mid-run so the cancel provably
+    // lands while the job is Running, before any item executed.
+    let daemon = Daemon::spawn(
+        "cancel",
+        true,
+        &[],
+        &[("ONIONBOTS_FAULTS", "service.job=delay:3000@1")],
+    );
+    let a = daemon.connect();
+    let mut a_writer = a.try_clone().unwrap();
+    let mut a_reader = BufReader::new(a);
+    send_frame(&mut a_writer, &Request::Submit(fig6_spec(31)));
+    let job = match read_event(&mut a_reader) {
+        Event::Accepted { job } => job,
+        other => panic!("expected acceptance, got {other:?}"),
+    };
+    // A second connection cancels the running job and gets an ack.
+    let b = daemon.connect();
+    let mut b_writer = b.try_clone().unwrap();
+    let mut b_reader = BufReader::new(b);
+    send_frame(&mut b_writer, &Request::Cancel { job });
+    match read_event(&mut b_reader) {
+        Event::Cancelled { job: acked } => assert_eq!(acked, job),
+        other => panic!("expected a cancel acknowledgement, got {other:?}"),
+    }
+    // The submitter's stream ends with Cancelled, never Done.
+    loop {
+        match read_event(&mut a_reader) {
+            Event::Cancelled { job: cancelled } => {
+                assert_eq!(cancelled, job);
+                break;
+            }
+            Event::Done { .. } => panic!("cancelled job ran to completion"),
+            Event::Error { job, message } => panic!("job {job:?} failed: {message}"),
+            _ => {}
+        }
+    }
+    // Cancelling an already-cancelled job is a clean per-request error.
+    send_frame(&mut b_writer, &Request::Cancel { job });
+    match read_event(&mut b_reader) {
+        Event::Error { message, .. } => assert!(message.contains("not running"), "{message}"),
+        other => panic!("expected a not-running error, got {other:?}"),
+    }
+    // Nothing from the cancelled job reached the shared cache: a rerun
+    // of the same spec starts fully cold, then matches the reference.
+    let (rerun, stats, _) = submit(daemon.connect(), &fig6_spec(31));
+    assert_eq!(rerun.to_json(), fig6_reference(31).to_json());
+    let stats = stats.expect("cached daemon reports stats");
+    assert_eq!(stats.hits, 0, "cancelled job warmed the cache: {stats:?}");
+    assert!(stats.misses > 0, "{stats:?}");
+}
+
+#[test]
+fn a_client_that_vanishes_mid_frame_never_stops_the_job_or_the_daemon() {
+    // The `service.sink` partial failpoint tears the submitter's second
+    // event frame in half and breaks the sink — the daemon-side image of
+    // a client that vanished mid-frame. The client really does hang up
+    // its write half too, so the handler sees EOF after the job.
+    let daemon = Daemon::spawn(
+        "sinkdrop",
+        true,
+        &[],
+        &[("ONIONBOTS_FAULTS", "service.sink=partial@2")],
+    );
+    let stream = daemon.connect();
+    let mut writer = stream.try_clone().unwrap();
+    send_frame(&mut writer, &Request::Submit(fig6_spec(41)));
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // Drain whatever arrives until the daemon closes the connection: the
+    // accepted frame, then the torn half-frame, then EOF once the job
+    // has finished server-side. The job must NOT be cancelled by the
+    // broken sink.
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("Accepted"), "no acceptance frame: {raw:?}");
+    assert!(
+        !raw.contains("Done"),
+        "the torn sink delivered a final frame anyway: {raw:?}"
+    );
+    // The daemon is alive and the orphaned job completed and warmed the
+    // shared cache: the same spec replays as all hits, byte-identically.
+    let (warm, stats, _) = submit(daemon.connect(), &fig6_spec(41));
+    assert_eq!(warm.to_json(), fig6_reference(41).to_json());
+    let stats = stats.expect("cached daemon reports stats");
+    assert!(stats.all_hits(), "orphaned job did not warm: {stats:?}");
 }
 
 #[test]

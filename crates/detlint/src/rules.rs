@@ -3,7 +3,7 @@
 //! | Rule | What it catches | Scope |
 //! |------|-----------------|-------|
 //! | D001 | `HashMap`/`HashSet` in RNG-adjacent paths (hash-randomized iteration order can leak into RNG streams or output) | `[rules.D001] paths` |
-//! | D002 | wall-clock / OS-entropy sources (`SystemTime::now`, `Instant::now`, `thread_rng`, `from_entropy`, `OsRng`) | everywhere except `[rules.D002] allow` |
+//! | D002 | wall-clock / OS-entropy sources and blocking waits (`SystemTime::now`, `Instant::now`, `thread::sleep`, `thread_rng`, `from_entropy`, `OsRng`) | everywhere except `[rules.D002] allow` |
 //! | D003 | environment reads (`env::var` & friends) | everywhere except `[rules.D003] allow` |
 //! | D004 | `unsafe` outside the pinned inventory | everywhere; `[rules.D004] inventory` pins exact counts |
 //! | D005 | pragma hygiene: malformed, reason-less, unknown-rule or unused pragmas | everywhere |
@@ -137,6 +137,18 @@ pub fn check_file(rel_path: &str, source: &str, config: &Config) -> Vec<Violatio
                     ),
                 ));
             }
+            "thread" if d002_applies && followed_by_member(tokens, i, "sleep") => {
+                findings.push(Violation::new(
+                    rel_path,
+                    token.line,
+                    "D002",
+                    "blocking wait `thread::sleep` outside sanctioned timing modules; \
+                     a real-time pause smuggles the wall clock into control flow — poll \
+                     a bounded counter or justify a bounded, output-invisible pause with \
+                     `// detlint: allow(D002) reason=\"...\"`"
+                        .to_string(),
+                ));
+            }
             n if d002_applies && ENTROPY_IDENTS.contains(&n) => {
                 findings.push(Violation::new(
                     rel_path,
@@ -237,6 +249,11 @@ pub fn check_file(rel_path: &str, source: &str, config: &Config) -> Vec<Violatio
 
 /// Does `tokens[i]` (an ident) begin the sequence `X :: now`?
 fn followed_by_now(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    followed_by_member(tokens, i, "now")
+}
+
+/// Does `tokens[i]` (an ident) begin the sequence `X :: member`?
+fn followed_by_member(tokens: &[crate::lexer::Token], i: usize, member: &str) -> bool {
     matches!(
         (
             tokens.get(i + 1).map(|t| &t.kind),
@@ -247,7 +264,7 @@ fn followed_by_now(tokens: &[crate::lexer::Token], i: usize) -> bool {
             Some(TokenKind::Punct(':')),
             Some(TokenKind::Punct(':')),
             Some(TokenKind::Ident(name)),
-        ) if name == "now"
+        ) if name == member
     )
 }
 
@@ -313,6 +330,19 @@ mod tests {
             ]
         );
         assert!(rules_fired("timing/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_catches_blocking_sleeps_but_not_the_bare_module_name() {
+        let src = "std::thread::sleep(Duration::from_millis(10));\nthread::sleep(pause);";
+        assert_eq!(
+            rules_fired("rng/scenario.rs", src),
+            vec![("D002", 1), ("D002", 2)]
+        );
+        assert!(rules_fired("timing/clock.rs", src).is_empty());
+        // Other thread:: members (spawn, yield_now) are not waits.
+        assert!(rules_fired("rng/scenario.rs", "std::thread::spawn(run);").is_empty());
+        assert!(rules_fired("rng/scenario.rs", "thread::yield_now();").is_empty());
     }
 
     #[test]

@@ -6,6 +6,13 @@ fn timing() {
     let _mono = std::time::Instant::now(); //~ D002
 }
 
+fn waiting() {
+    std::thread::sleep(std::time::Duration::from_millis(5)); //~ D002
+    // Non-wait thread:: members must not fire:
+    let _h = std::thread::spawn(|| {});
+    std::thread::yield_now();
+}
+
 fn entropy() {
     let _ambient = rand::thread_rng(); //~ D002
     let _unseeded = StdRng::from_entropy(); //~ D002

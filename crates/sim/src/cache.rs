@@ -14,8 +14,14 @@
 //!
 //! Entries live at `<dir>/<scenario id>/part<index>-<fingerprint>.json` and
 //! embed the fingerprint plus format version again in the payload; a file
-//! that fails to parse or no longer matches its own key is treated as
-//! invalidated, never served.
+//! that no longer matches its own key is treated as invalidated, never
+//! served. A file that does not even parse — a torn write from a crashed
+//! process, disk corruption — is **quarantined**: renamed to a
+//! `.corrupt-*` sibling (preserving the evidence) and degraded to a
+//! plain miss with a warning, so one bad entry costs one recompute
+//! instead of failing or poisoning a run. The `cache.load` and
+//! `cache.store` failpoints ([`crate::faults`]) let a fault schedule
+//! rehearse read errors and torn writes deterministically.
 //!
 //! ```
 //! use sim::cache::{CacheLookup, PartFingerprint, ResultCache};
@@ -54,6 +60,7 @@ use onion_crypto::sha256::Sha256;
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::ExperimentReport;
+use crate::faults;
 use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
 
 /// Version of the on-disk entry layout; part of every fingerprint, so
@@ -287,7 +294,22 @@ impl ResultCache {
     }
 
     /// Probes the cache for `fp`.
+    ///
+    /// A well-formed entry that mismatches its own key (stale format,
+    /// foreign fingerprint) is [`CacheLookup::Invalid`] — recompute and
+    /// overwrite. An entry that does not parse at all is *quarantined*:
+    /// renamed to a `.corrupt-*` sibling and reported as a plain
+    /// [`CacheLookup::Miss`] with a warning, because a torn write must
+    /// cost one recompute, never a run failure — and the renamed file
+    /// keeps the evidence for a post-mortem.
     pub fn lookup(&self, fp: &PartFingerprint) -> CacheLookup {
+        if let Err(e) = faults::hit_io(faults::points::CACHE_LOAD) {
+            eprintln!(
+                "warning: cache read failed for {}#{} ({e}); degrading to a miss",
+                fp.scenario_id, fp.part
+            );
+            return CacheLookup::Miss;
+        }
         let path = self.entry_path(fp);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -303,7 +325,34 @@ impl ResultCache {
             {
                 CacheLookup::Hit(entry.reports)
             }
-            _ => CacheLookup::Invalid,
+            Ok(_) => CacheLookup::Invalid,
+            Err(parse_error) => {
+                let quarantine = path.with_extension(format!(
+                    "corrupt-{}-{}",
+                    std::process::id(),
+                    next_unique()
+                ));
+                match std::fs::rename(&path, &quarantine) {
+                    Ok(()) => {
+                        eprintln!(
+                            "warning: quarantined corrupt cache entry for {}#{} ({parse_error}) as '{}'; degrading to a miss",
+                            fp.scenario_id,
+                            fp.part,
+                            quarantine.display()
+                        );
+                        CacheLookup::Miss
+                    }
+                    Err(rename_error) => {
+                        // Cannot move it aside; recompute-and-overwrite
+                        // still repairs the entry.
+                        eprintln!(
+                            "warning: corrupt cache entry for {}#{} ({parse_error}) could not be quarantined ({rename_error})",
+                            fp.scenario_id, fp.part
+                        );
+                        CacheLookup::Invalid
+                    }
+                }
+            }
         }
     }
 
@@ -327,6 +376,23 @@ impl ResultCache {
         std::fs::create_dir_all(parent)?;
         let tmp = parent.join(format!(".tmp-{}-{}", std::process::id(), next_unique()));
         let payload = serde_json::to_string_pretty(&entry).expect("cache entry serializes");
+        // The `cache.store` failpoint can fail the store outright or
+        // simulate a torn write: half the payload lands under the final
+        // name (as if the process died between write and fsync) and the
+        // store still reports failure. The next lookup must quarantine
+        // the torn entry and recompute — never serve or fail on it.
+        match faults::hit(faults::points::CACHE_STORE) {
+            Ok(faults::Injected::None) => {}
+            Ok(faults::Injected::PartialWrite) => {
+                let torn = &payload.as_bytes()[..payload.len() / 2];
+                std::fs::write(&tmp, torn)?;
+                let _ = std::fs::rename(&tmp, &path);
+                return Err(io::Error::other(
+                    "injected fault (torn write) at failpoint `cache.store`",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
         std::fs::write(&tmp, payload)?;
         match std::fs::rename(&tmp, &path) {
             Ok(()) => Ok(()),
@@ -469,20 +535,53 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_and_mismatched_entries_are_invalid_not_hits() {
+    fn corrupt_entries_are_quarantined_and_degrade_to_misses() {
         let (cache, dir) = temp_cache("corrupt");
         let params = ScenarioParams::with_seed(1);
         let fp = PartFingerprint::compute(&toy("s"), 0, &params);
-        // Corrupt JSON.
+        // Corrupt JSON — e.g. a torn write that landed under the final
+        // name. The entry is moved aside and the lookup is a miss, so
+        // the runner recomputes instead of failing the whole run.
         std::fs::create_dir_all(cache.entry_path(&fp).parent().unwrap()).unwrap();
         std::fs::write(cache.entry_path(&fp), b"{ not json").unwrap();
-        assert_eq!(cache.lookup(&fp), CacheLookup::Invalid);
+        assert_eq!(cache.lookup(&fp), CacheLookup::Miss);
+        assert!(
+            !cache.entry_path(&fp).exists(),
+            "the corrupt entry is renamed out of the way"
+        );
+        let quarantined: Vec<_> = std::fs::read_dir(cache.entry_path(&fp).parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .is_some_and(|ext| ext.to_string_lossy().starts_with("corrupt-"))
+            })
+            .collect();
+        assert_eq!(quarantined.len(), 1, "exactly one quarantined sibling");
+        // A later store through the normal path repairs the slot.
+        cache.store(&fp, &sample_reports()).unwrap();
+        assert_eq!(cache.lookup(&fp), CacheLookup::Hit(sample_reports()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_entries_are_invalid_not_hits() {
+        let (cache, dir) = temp_cache("mismatch");
+        let params = ScenarioParams::with_seed(1);
+        let fp = PartFingerprint::compute(&toy("s"), 0, &params);
         // An entry copied under the wrong key (here: another part's file
-        // renamed onto this fingerprint) must not be served.
+        // renamed onto this fingerprint) parses fine but must not be
+        // served — and, unlike corruption, it is *not* quarantined: it
+        // signals an addressing bug worth loud failure, not bit rot.
         let other = PartFingerprint::compute(&toy("s"), 1, &params);
         cache.store(&other, &sample_reports()).unwrap();
         std::fs::copy(cache.entry_path(&other), cache.entry_path(&fp)).unwrap();
         assert_eq!(cache.lookup(&fp), CacheLookup::Invalid);
+        assert!(
+            cache.entry_path(&fp).exists(),
+            "left in place for forensics"
+        );
         // Overwriting through store() repairs it.
         cache.store(&fp, &sample_reports()).unwrap();
         assert_eq!(cache.lookup(&fp), CacheLookup::Hit(sample_reports()));

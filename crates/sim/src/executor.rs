@@ -44,6 +44,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::PartFingerprint;
 use crate::experiment::ExperimentReport;
+use crate::faults;
 use crate::scenario_api::{part_seed, Scenario, ScenarioParams};
 
 /// One self-contained unit of executable work: a single part of a single
@@ -330,11 +331,21 @@ impl Executor for LocalExecutor {
         items: Vec<WorkItem>,
         observer: &dyn ExecutionObserver,
     ) -> Result<Vec<PartResult>, ExecutorError> {
+        // The failpoint turns into the same clean typed error on both
+        // paths: an injected fault fails the batch, never a single item
+        // silently.
+        let injected = |item: &WorkItem, e: io::Error| {
+            ExecutorError::new(format!(
+                "local executor failed on {}#{}: {e}",
+                item.scenario_id, item.part
+            ))
+        };
         if self.jobs == 1 || items.len() <= 1 {
             return items
                 .into_iter()
                 .map(|item| {
                     let scenario = self.resolve(&item.scenario_id)?;
+                    faults::hit_io(faults::points::LOCAL_ITEM).map_err(|e| injected(&item, e))?;
                     observer.item_started(&item);
                     let reports = run_work_item(&**scenario, &item);
                     let result = PartResult::ok(&item, reports);
@@ -353,13 +364,24 @@ impl Executor for LocalExecutor {
         let workers = self.jobs.min(resolved.len());
         let queue = Mutex::new(VecDeque::from(resolved));
         let results = Mutex::new(Vec::new());
+        let fatal: Mutex<Option<ExecutorError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if fatal.lock().expect("fatal lock").is_some() {
+                        break;
+                    }
                     let next = queue.lock().expect("queue lock").pop_front();
                     let Some((scenario, item)) = next else {
                         break;
                     };
+                    if let Err(e) = faults::hit_io(faults::points::LOCAL_ITEM) {
+                        fatal
+                            .lock()
+                            .expect("fatal lock")
+                            .get_or_insert(injected(&item, e));
+                        break;
+                    }
                     observer.item_started(&item);
                     let reports = run_work_item(&*scenario, &item);
                     let result = PartResult::ok(&item, reports);
@@ -368,6 +390,9 @@ impl Executor for LocalExecutor {
                 });
             }
         });
+        if let Some(error) = fatal.into_inner().expect("fatal lock") {
+            return Err(error);
+        }
         Ok(results.into_inner().expect("results lock"))
     }
 }
@@ -675,27 +700,23 @@ impl Executor for ProcessExecutor {
 /// violation and returns an error, terminating the worker. The loop exits
 /// cleanly on EOF — the parent closes stdin to shut a worker down.
 ///
-/// When `crash_after_items` is `Some(n)`, the worker exits abruptly
-/// (status 101, without responding) upon *reading* item `n + 1` — i.e.
-/// after fully processing `n` items. This is the deterministic
-/// crash-injection hook the worker-recovery tests drive via the
-/// environment (see the `worker` module in `crates/bench`).
+/// Every read assignment hits the `worker.item` failpoint
+/// ([`faults::points::WORKER_ITEM`]) before it is answered, so a fault
+/// schedule can crash, stall or kill this worker deterministically (the
+/// bench worker translates the legacy `ONIONBOTS_WORKER_CRASH_AFTER_ITEMS`
+/// hook into a `crash@N+1` spec on this point). An injected error
+/// terminates the worker without answering — the parent treats that
+/// exactly like a death and re-queues the item.
 ///
 /// # Errors
 /// Returns the underlying I/O error when a pipe breaks or an input line
 /// is not a valid work item.
-pub fn serve_work_items<R, W, F>(
-    input: R,
-    mut output: W,
-    crash_after_items: Option<usize>,
-    resolve: F,
-) -> io::Result<()>
+pub fn serve_work_items<R, W, F>(input: R, mut output: W, resolve: F) -> io::Result<()>
 where
     R: BufRead,
     W: Write,
     F: Fn(&str) -> Option<Arc<dyn Scenario>>,
 {
-    let mut completed = 0usize;
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -707,10 +728,7 @@ where
                 format!("malformed work item line: {e}"),
             )
         })?;
-        if crash_after_items == Some(completed) {
-            // Simulated crash: the item was read but is never answered.
-            std::process::exit(101);
-        }
+        faults::hit_io(faults::points::WORKER_ITEM)?;
         let result = match resolve(&item.scenario_id) {
             Some(scenario) => PartResult::ok(&item, run_work_item(&*scenario, &item)),
             None => PartResult::failed(
@@ -725,7 +743,6 @@ where
         output.write_all(rendered.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
-        completed += 1;
     }
     Ok(())
 }
@@ -1032,7 +1049,7 @@ mod tests {
             let scenarios = scenarios.clone();
             move |id: &str| scenarios.iter().find(|s| s.id() == id).cloned()
         };
-        serve_work_items(input.as_bytes(), &mut output, None, lookup).unwrap();
+        serve_work_items(input.as_bytes(), &mut output, lookup).unwrap();
         let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
         assert_eq!(
             lines.len(),
@@ -1054,7 +1071,7 @@ mod tests {
     #[test]
     fn serve_work_items_rejects_malformed_lines() {
         let mut output = Vec::new();
-        let error = serve_work_items("this is not json\n".as_bytes(), &mut output, None, |_| {
+        let error = serve_work_items("this is not json\n".as_bytes(), &mut output, |_| {
             None::<Arc<dyn Scenario>>
         })
         .unwrap_err();

@@ -28,6 +28,11 @@
 //!   ([`service::Request`]/[`service::Event`] frames) over Unix-domain
 //!   or TCP loopback sockets, streaming per-part lifecycle events and
 //!   fronting one shared result cache for every client.
+//! * [`faults`] — deterministic fault injection: named failpoints
+//!   compiled into the executors, the remote dispatcher, the cache and
+//!   the service, armed via `--faults NAME=SPEC` schedules with
+//!   count-based (never wall-clock) triggers — the chaos layer behind
+//!   the robustness tests.
 //! * [`cache`] — the persistent, content-addressed [`ResultCache`]: stores
 //!   each part's reports under a SHA-256 fingerprint of *(scenario id,
 //!   part, seed, scale, overrides, format version)* so re-runs only
@@ -60,6 +65,7 @@ pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod experiment;
+pub mod faults;
 pub mod remote;
 pub mod runner;
 pub mod scenario;
@@ -71,6 +77,7 @@ pub use executor::{
     Executor, ExecutorError, LocalExecutor, PartResult, ProcessExecutor, WorkItem, WorkerCommand,
 };
 pub use experiment::{CsvDirSink, ExperimentReport, JsonDirSink, ReportSink, Series, TableSink};
+pub use faults::FAULTS_ENV;
 pub use remote::{
     serve_remote_connection, serve_remote_host, DispatchFrame, RemoteExecutor, WorkerFrame,
     REMOTE_PROTOCOL_VERSION,

@@ -32,14 +32,30 @@
 //! reassembles results in `(scenario, part)` order — so `RunSummary` is
 //! byte-identical to `--backend local` at any host count, including
 //! under mid-run host kills.
+//!
+//! **No call here can block forever.** Connections are opened with
+//! [`TcpStream::connect_timeout`], every read carries a socket read
+//! timeout of [`REMOTE_READ_POLL_MS`], and each reply is bounded by a
+//! per-item deadline enforced by *counting* timeout polls (never by
+//! reading a wall clock — detlint rule D002). A host that accepts TCP
+//! but never replies — during the handshake or mid-item — is abandoned
+//! after the deadline and its item re-queued on the surviving hosts;
+//! retried items back off with a bounded exponential pause whose jitter
+//! derives deterministically from the item fingerprint (no ambient
+//! randomness). The `remote.connect`/`remote.read` failpoints
+//! ([`crate::faults`]) sit on the dispatcher side and
+//! `remote.host.item` on the host side, so chaos schedules can rehearse
+//! every one of these failure shapes on demand.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+
+use crate::faults;
 
 use crate::executor::{
     run_work_item, ExecutionObserver, Executor, ExecutorError, PartResult, WorkItem,
@@ -51,6 +67,62 @@ use crate::scenario_api::Scenario;
 /// a host refuses a dispatcher whose version differs, which fails the
 /// run up front instead of corrupting it halfway through.
 pub const REMOTE_PROTOCOL_VERSION: u32 = 1;
+
+/// How long one connection attempt to a worker host may take before the
+/// host counts as unreachable.
+pub const REMOTE_CONNECT_TIMEOUT_MS: u64 = 5_000;
+
+/// Socket read timeout bounding every blocking read on a host channel.
+/// Reads poll at this granularity while waiting out the per-reply
+/// deadline, so the deadline is enforced by counting polls instead of
+/// reading a wall clock.
+pub const REMOTE_READ_POLL_MS: u64 = 200;
+
+/// Default per-reply deadline: a host that has not answered an
+/// assignment (or the handshake) within this budget is abandoned and
+/// its in-flight item re-queued on the surviving hosts. Deliberately
+/// generous — a deadline shorter than the slowest legitimate item would
+/// turn a healthy fleet into serial re-queueing; tune it down per run
+/// with [`RemoteExecutor::deadline_millis`] (`--remote-deadline-ms`).
+pub const DEFAULT_REMOTE_DEADLINE_MS: u64 = 60_000;
+
+/// Ceiling on one retry-backoff pause, so retries stay exponential only
+/// up to a bounded, test-friendly cap.
+const BACKOFF_CAP_MS: u64 = 500;
+
+/// How long a retried item's dispatcher thread pauses before re-queueing
+/// it: bounded exponential in the charged retry count, with jitter
+/// folded in deterministically from the item's fingerprint bytes (two
+/// colliding items desynchronize without any ambient randomness).
+fn retry_backoff_millis(fingerprint: &str, retries: usize) -> u64 {
+    let base = 10u64.saturating_mul(1 << retries.min(5) as u32);
+    let jitter = fingerprint.bytes().fold(0u64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(b))
+    }) % base.max(1);
+    (base + jitter).min(BACKOFF_CAP_MS)
+}
+
+/// Is this error a bounded-read timeout (the deadline machinery), as
+/// opposed to a dead or misbehaving peer?
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+/// The shared dispatch queue plus the in-flight ledger that makes the
+/// work-stealing termination protocol sound. An idle dispatcher thread
+/// may only exit when the queue is empty AND nothing is in flight:
+/// otherwise a dying host could re-queue its in-flight item after every
+/// survivor already went home, stranding the item with live hosts
+/// available (the race the in-flight count exists to close). Threads
+/// with nothing to steal park on the paired [`Condvar`] and are woken by
+/// every re-queue, every settled item and every fatal error.
+struct DispatchQueue {
+    pending: VecDeque<(WorkItem, usize)>,
+    in_flight: usize,
+}
 
 /// Frames the dispatcher sends to a worker host (one JSON object per
 /// line).
@@ -122,21 +194,44 @@ struct HostChannel {
     /// Items this connection answered successfully — same fresh-death
     /// heuristic as the process backend's per-incarnation counter.
     completed: usize,
+    /// Per-reply deadline, expressed in [`REMOTE_READ_POLL_MS`] polls.
+    deadline_polls: u64,
 }
 
 impl HostChannel {
-    fn connect(addr: &str) -> Result<HostChannel, ConnectFailure> {
-        let writer = TcpStream::connect(addr).map_err(ConnectFailure::Dead)?;
+    fn connect(addr: &str, deadline_ms: u64) -> Result<HostChannel, ConnectFailure> {
+        faults::hit_io(faults::points::REMOTE_CONNECT).map_err(ConnectFailure::Dead)?;
+        let target = addr
+            .to_socket_addrs()
+            .map_err(ConnectFailure::Dead)?
+            .next()
+            .ok_or_else(|| {
+                ConnectFailure::Dead(io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    "address resolves to no socket address",
+                ))
+            })?;
+        let writer =
+            TcpStream::connect_timeout(&target, Duration::from_millis(REMOTE_CONNECT_TIMEOUT_MS))
+                .map_err(ConnectFailure::Dead)?;
         // The protocol is strictly request/response with small frames;
         // without TCP_NODELAY every round trip stalls on Nagle vs
         // delayed-ACK (~40 ms each way — measured ~87 ms/item on
         // loopback, dwarfing the work itself).
         writer.set_nodelay(true).map_err(ConnectFailure::Dead)?;
+        // Bound every read. The clone below shares the socket, so the
+        // reader inherits the timeout; reads then poll at this
+        // granularity and `read_reply_line` counts polls against the
+        // per-reply deadline.
+        writer
+            .set_read_timeout(Some(Duration::from_millis(REMOTE_READ_POLL_MS)))
+            .map_err(ConnectFailure::Dead)?;
         let reader = BufReader::new(writer.try_clone().map_err(ConnectFailure::Dead)?);
         let mut channel = HostChannel {
             writer,
             reader,
             completed: 0,
+            deadline_polls: deadline_ms.div_ceil(REMOTE_READ_POLL_MS).max(1),
         };
         send_frame(
             &mut channel.writer,
@@ -145,7 +240,7 @@ impl HostChannel {
             },
         )
         .map_err(ConnectFailure::Dead)?;
-        let line = match read_frame_line(&mut channel.reader).map_err(ConnectFailure::Dead)? {
+        let line = match channel.read_reply_line().map_err(ConnectFailure::Dead)? {
             Some(line) => line,
             None => {
                 return Err(ConnectFailure::Dead(io::Error::new(
@@ -169,11 +264,44 @@ impl HostChannel {
         }
     }
 
+    /// Reads one reply line under the per-reply deadline: each blocking
+    /// read times out after [`REMOTE_READ_POLL_MS`] and the polls are
+    /// counted, so a host that stops answering surfaces a `TimedOut`
+    /// error after `deadline_polls` polls instead of wedging the
+    /// dispatcher thread. Partial lines survive timeouts (`read_line`
+    /// keeps already-read bytes in the buffer), so a slow-but-live host
+    /// is never corrupted by the polling.
+    fn read_reply_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        let mut polls: u64 = 0;
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Ok(None),
+                Ok(_) => return Ok(Some(line)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_timeout(&e) => {
+                    polls += 1;
+                    if polls >= self.deadline_polls {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "no reply within the {} ms deadline",
+                                self.deadline_polls * REMOTE_READ_POLL_MS
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Sends one assignment and reads back its result. Any error means
     /// the channel is unusable and must be replaced.
     fn round_trip(&mut self, item: &WorkItem) -> io::Result<PartResult> {
         send_frame(&mut self.writer, &DispatchFrame::Assign(item.clone()))?;
-        let line = read_frame_line(&mut self.reader)?.ok_or_else(|| {
+        faults::hit_io(faults::points::REMOTE_READ)?;
+        let line = self.read_reply_line()?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "host closed the connection mid-item",
@@ -209,6 +337,7 @@ impl HostChannel {
 pub struct RemoteExecutor {
     workers: Vec<String>,
     max_item_retries: usize,
+    deadline_ms: u64,
 }
 
 impl RemoteExecutor {
@@ -219,6 +348,7 @@ impl RemoteExecutor {
         RemoteExecutor {
             workers,
             max_item_retries: DEFAULT_MAX_ITEM_RETRIES,
+            deadline_ms: DEFAULT_REMOTE_DEADLINE_MS,
         }
     }
 
@@ -227,6 +357,15 @@ impl RemoteExecutor {
     #[must_use]
     pub fn max_item_retries(mut self, retries: usize) -> Self {
         self.max_item_retries = retries;
+        self
+    }
+
+    /// Sets the per-reply deadline in milliseconds (clamped to at least
+    /// one read poll). A host that has not answered within this budget
+    /// is abandoned and its item re-queued on the surviving hosts.
+    #[must_use]
+    pub fn deadline_millis(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = deadline_ms.max(REMOTE_READ_POLL_MS);
         self
     }
 }
@@ -250,8 +389,11 @@ impl Executor for RemoteExecutor {
             ));
         }
         let total = items.len();
-        let queue: Mutex<VecDeque<(WorkItem, usize)>> =
-            Mutex::new(items.into_iter().map(|item| (item, 0)).collect());
+        let queue: Mutex<DispatchQueue> = Mutex::new(DispatchQueue {
+            pending: items.into_iter().map(|item| (item, 0)).collect(),
+            in_flight: 0,
+        });
+        let wake = Condvar::new();
         let results: Mutex<Vec<PartResult>> = Mutex::new(Vec::new());
         // Fingerprints already merged — the dedup ledger that guarantees
         // a re-queued item can never land twice.
@@ -262,13 +404,30 @@ impl Executor for RemoteExecutor {
                 .lock()
                 .expect("fatal lock")
                 .get_or_insert(ExecutorError::new(message));
+            // Parked stealers re-check the fatal flag on every wake-up.
+            wake.notify_all();
+        };
+        // An item leaves a thread's hands one of exactly two ways; both
+        // wake the parked stealers so the termination condition (empty
+        // queue, nothing in flight) is re-evaluated.
+        let requeue = |item: WorkItem, retries: usize| {
+            let mut state = queue.lock().expect("queue lock");
+            state.pending.push_back((item, retries));
+            state.in_flight -= 1;
+            wake.notify_all();
+        };
+        let settle = || {
+            queue.lock().expect("queue lock").in_flight -= 1;
+            wake.notify_all();
         };
         std::thread::scope(|scope| {
             for addr in self.workers.iter().take(total) {
                 let addr = addr.as_str();
-                let (queue, results, merged, fail) = (&queue, &results, &merged, &fail);
+                let (queue, wake, results, merged) = (&queue, &wake, &results, &merged);
+                let (fail, requeue, settle) = (&fail, &requeue, &settle);
                 let fatal = &fatal;
                 let max_item_retries = self.max_item_retries;
+                let deadline_ms = self.deadline_ms;
                 scope.spawn(move || {
                     let mut channel: Option<HostChannel> = None;
                     let mut ever_connected = false;
@@ -276,12 +435,32 @@ impl Executor for RemoteExecutor {
                         if fatal.lock().expect("fatal lock").is_some() {
                             break;
                         }
-                        let next = queue.lock().expect("queue lock").pop_front();
+                        let next = {
+                            let mut state = queue.lock().expect("queue lock");
+                            loop {
+                                if let Some(entry) = state.pending.pop_front() {
+                                    state.in_flight += 1;
+                                    break Some(entry);
+                                }
+                                if state.in_flight == 0 {
+                                    // Drained for good: nothing queued and
+                                    // nothing left that could re-queue.
+                                    break None;
+                                }
+                                // Another host holds the remaining items;
+                                // if it dies they come back here. Park
+                                // until a re-queue, a settle or a fatal.
+                                state = wake.wait(state).expect("queue lock");
+                                if fatal.lock().expect("fatal lock").is_some() {
+                                    break None;
+                                }
+                            }
+                        };
                         let Some((item, retries)) = next else {
                             break;
                         };
                         if channel.is_none() {
-                            match HostChannel::connect(addr) {
+                            match HostChannel::connect(addr, deadline_ms) {
                                 Ok(connected) => {
                                     channel = Some(connected);
                                     ever_connected = true;
@@ -290,10 +469,16 @@ impl Executor for RemoteExecutor {
                                     fail(format!(
                                         "worker host '{addr}' refused the dispatcher: {reason}"
                                     ));
+                                    settle();
                                     break;
                                 }
                                 Err(ConnectFailure::Dead(e)) => {
-                                    if ever_connected {
+                                    // A host that accepts TCP but never
+                                    // answers the handshake is *hung*,
+                                    // not misconfigured: abandon it and
+                                    // let the survivors drain the queue,
+                                    // even on the very first attempt.
+                                    if ever_connected || is_timeout(&e) {
                                         // Host loss: hand the item back and
                                         // let the surviving hosts drain the
                                         // queue; this thread is done.
@@ -301,15 +486,13 @@ impl Executor for RemoteExecutor {
                                             "warning: worker host '{addr}' is gone ({e}); re-queueing {}#{} for the remaining hosts",
                                             item.scenario_id, item.part
                                         );
-                                        queue
-                                            .lock()
-                                            .expect("queue lock")
-                                            .push_back((item, retries));
+                                        requeue(item, retries);
                                         break;
                                     }
                                     fail(format!(
                                         "cannot connect to worker host '{addr}': {e}"
                                     ));
+                                    settle();
                                     break;
                                 }
                             }
@@ -323,6 +506,7 @@ impl Executor for RemoteExecutor {
                                         "worker host '{addr}' failed on {}#{}: {error}",
                                         item.scenario_id, item.part
                                     ));
+                                    settle();
                                     break;
                                 }
                                 if result.scenario_id != item.scenario_id
@@ -336,6 +520,7 @@ impl Executor for RemoteExecutor {
                                         result.scenario_id,
                                         result.part
                                     ));
+                                    settle();
                                     break;
                                 }
                                 active.completed += 1;
@@ -355,6 +540,23 @@ impl Executor for RemoteExecutor {
                                         item.scenario_id, item.part
                                     );
                                 }
+                                settle();
+                            }
+                            Err(e) if is_timeout(&e) => {
+                                // Per-item deadline: the host is hung
+                                // (connected, silent). Abandon the host
+                                // — a late reply on this channel would
+                                // desync the framing anyway — re-queue
+                                // the item on the survivors and end this
+                                // thread. No retry charge: the host is
+                                // at fault, not the item.
+                                drop(channel.take());
+                                eprintln!(
+                                    "warning: worker host '{addr}' hit the per-item deadline on {}#{} ({e}); re-queueing for the remaining hosts",
+                                    item.scenario_id, item.part
+                                );
+                                requeue(item, retries);
+                                break;
                             }
                             Err(e) => {
                                 // The channel is gone or confused: drop
@@ -375,18 +577,19 @@ impl Executor for RemoteExecutor {
                                         "{}#{} killed {retries} fresh worker connection(s) ({e}); giving up",
                                         item.scenario_id, item.part
                                     ));
+                                    settle();
                                     break;
                                 }
+                                let pause = retry_backoff_millis(&item.fingerprint, retries);
                                 eprintln!(
-                                    "warning: worker host '{addr}' failed while running {}#{} ({e}); re-queueing ({retries}/{} charged retries)",
+                                    "warning: worker host '{addr}' failed while running {}#{} ({e}); re-queueing after {pause} ms ({retries}/{} charged retries)",
                                     item.scenario_id,
                                     item.part,
                                     max_item_retries
                                 );
-                                queue
-                                    .lock()
-                                    .expect("queue lock")
-                                    .push_back((item, retries));
+                                // detlint: allow(D002) reason="bounded retry backoff; the pause is deterministic (fingerprint-derived) and its duration never feeds back into any output"
+                                std::thread::sleep(Duration::from_millis(pause));
+                                requeue(item, retries);
                             }
                         }
                     }
@@ -398,7 +601,7 @@ impl Executor for RemoteExecutor {
         if let Some(error) = fatal.into_inner().expect("fatal lock") {
             return Err(error);
         }
-        let stranded = queue.into_inner().expect("queue lock").len();
+        let stranded = queue.into_inner().expect("queue lock").pending.len();
         if stranded > 0 {
             return Err(ExecutorError::new(format!(
                 "all {} worker host(s) are gone with {stranded} of {total} item(s) still queued",
@@ -417,23 +620,17 @@ impl Executor for RemoteExecutor {
 /// a malformed assignment line is a protocol violation and terminates
 /// the connection without a response (the dispatcher charges it like a
 /// death). An unknown scenario id becomes a per-item error result, which
-/// the dispatcher treats as fatal. `completed` is the host-wide answered
-/// count shared across connections; when `crash_after_items` is
-/// `Some(n)`, the whole host process exits abruptly (status 101) upon
-/// *reading* an assignment once `n` items have been answered — the same
-/// deterministic crash-injection hook `serve_work_items` pins, here for
-/// host-loss tests.
+/// the dispatcher treats as fatal. Every read assignment hits the
+/// `remote.host.item` failpoint ([`faults::points::REMOTE_HOST_ITEM`])
+/// before it is answered; the failpoint counter is process-wide, so a
+/// `crash@N` spec injects one deterministic host crash no matter how
+/// connections interleave (the bench host translates the legacy
+/// `ONIONBOTS_WORKER_CRASH_AFTER_ITEMS` hook into exactly that spec).
 ///
 /// # Errors
 /// Returns the underlying I/O error when the transport breaks or the
 /// dispatcher violates the protocol.
-pub fn serve_remote_connection<R, W, F>(
-    mut input: R,
-    mut output: W,
-    crash_after_items: Option<usize>,
-    completed: &AtomicUsize,
-    resolve: F,
-) -> io::Result<()>
+pub fn serve_remote_connection<R, W, F>(mut input: R, mut output: W, resolve: F) -> io::Result<()>
 where
     R: BufRead,
     W: Write,
@@ -510,11 +707,7 @@ where
                 ))
             }
         };
-        if crash_after_items.is_some_and(|n| completed.load(Ordering::SeqCst) >= n) {
-            // Simulated host crash: the item was read but is never
-            // answered, and every connection dies at once.
-            std::process::exit(101);
-        }
+        faults::hit_io(faults::points::REMOTE_HOST_ITEM)?;
         let result = match resolve(&item.scenario_id) {
             Some(scenario) => PartResult::ok(&item, run_work_item(&*scenario, &item)),
             None => PartResult::failed(
@@ -526,29 +719,24 @@ where
             ),
         };
         send_frame(&mut output, &WorkerFrame::Completed(result))?;
-        completed.fetch_add(1, Ordering::SeqCst);
     }
 }
 
 /// Runs a worker host: accepts dispatcher connections on `listener`
 /// forever (one thread per connection, registry resolved through
-/// `resolve`) and serves each with [`serve_remote_connection`]. The
-/// answered-items counter is host-wide, so `crash_after_items` injects
-/// one deterministic process crash no matter how connections interleave.
+/// `resolve`) and serves each with [`serve_remote_connection`]. Fault
+/// schedules armed in this process (via [`crate::faults::arm_from_env`])
+/// apply host-wide: the `remote.host.item` counter spans every
+/// connection.
 ///
 /// Never returns `Ok`: a worker host runs until its process is killed.
 ///
 /// # Errors
 /// Returns the underlying I/O error when accepting fails outright.
-pub fn serve_remote_host<F>(
-    listener: TcpListener,
-    crash_after_items: Option<usize>,
-    resolve: F,
-) -> io::Result<()>
+pub fn serve_remote_host<F>(listener: TcpListener, resolve: F) -> io::Result<()>
 where
     F: Fn(&str) -> Option<Arc<dyn Scenario>> + Sync,
 {
-    let completed = AtomicUsize::new(0);
     std::thread::scope(|scope| loop {
         let (stream, peer) = match listener.accept() {
             Ok(accepted) => accepted,
@@ -556,7 +744,6 @@ where
             Err(e) => return Err(e),
         };
         let resolve = &resolve;
-        let completed = &completed;
         scope.spawn(move || {
             // Mirror of the dispatcher side: request/response frames must
             // not sit in Nagle's buffer waiting for a delayed ACK.
@@ -571,9 +758,7 @@ where
                     return;
                 }
             };
-            if let Err(e) =
-                serve_remote_connection(reader, &stream, crash_after_items, completed, resolve)
-            {
+            if let Err(e) = serve_remote_connection(reader, &stream, resolve) {
                 eprintln!("warning: connection from {peer} ended with a protocol error: {e}");
             }
         });

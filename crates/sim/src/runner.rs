@@ -20,6 +20,7 @@
 //! ([`Backend::Custom`]). Workers report per-item status; the parent
 //! aggregates the [`CacheStats`] and prints the single stderr summary.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -243,6 +244,8 @@ pub struct Runner {
     refresh: bool,
     backend: Backend,
     threads_per_item: ThreadsPerItem,
+    cancel: Option<Arc<AtomicBool>>,
+    remote_deadline_ms: Option<u64>,
 }
 
 impl Runner {
@@ -255,6 +258,8 @@ impl Runner {
             refresh: false,
             backend: Backend::Local,
             threads_per_item: ThreadsPerItem::default(),
+            cancel: None,
+            remote_deadline_ms: None,
         }
     }
 
@@ -294,6 +299,28 @@ impl Runner {
     /// for any setting.
     pub fn threads_per_item(mut self, threads: ThreadsPerItem) -> Self {
         self.threads_per_item = threads;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token. When set, pending items
+    /// are dispatched in bounded batches and the token is checked between
+    /// them: once it reads `true`, the remaining items are drained and the
+    /// run fails with a "job cancelled" [`ExecutorError`]. Because fresh
+    /// results are only written back after the *whole* dispatch succeeds,
+    /// a cancelled run never leaves partial state in the cache — the next
+    /// run simply recomputes. A cancel raised while the final batch is in
+    /// flight loses the race and the run completes normally.
+    pub fn cancel_token(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Overrides the per-item reply deadline (milliseconds) used by
+    /// [`Backend::Remote`]; see
+    /// [`RemoteExecutor::deadline_millis`](crate::remote::RemoteExecutor::deadline_millis).
+    /// Has no effect on the other backends.
+    pub fn remote_deadline_ms(mut self, millis: u64) -> Self {
+        self.remote_deadline_ms = Some(millis);
         self
     }
 
@@ -519,7 +546,9 @@ impl Runner {
 
     /// Hands the pending items to the configured backend, stamping the
     /// resolved per-item thread budget onto every item first (and, for
-    /// worker subprocesses, into their environment).
+    /// worker subprocesses, into their environment). With a
+    /// [`cancel_token`](Self::cancel_token) attached the batch is split
+    /// into `jobs`-sized slices so the token gets checked between them.
     fn dispatch(
         &self,
         scenarios: &[Arc<dyn Scenario>],
@@ -534,26 +563,55 @@ impl Runner {
             item.threads = threads;
         }
         let forward = ForwardToRun { observer };
-        match &self.backend {
-            Backend::Local => LocalExecutor::new(scenarios.to_vec())
-                .jobs(self.jobs)
-                .execute_observed(pending, &forward),
-            Backend::Process(command) => {
-                // Belt and braces: the hint travels inside each work item
-                // (run_work_item scopes it), and the environment carries
-                // the same split as the worker-process default for any
-                // graph work outside an item's scope.
-                let command = command
-                    .clone()
-                    .env(onion_graph::budget::THREADS_ENV, threads.to_string());
-                ProcessExecutor::new(command)
+        let run_batch = |batch: Vec<WorkItem>| -> Result<Vec<PartResult>, ExecutorError> {
+            match &self.backend {
+                Backend::Local => LocalExecutor::new(scenarios.to_vec())
                     .jobs(self.jobs)
-                    .execute_observed(pending, &forward)
+                    .execute_observed(batch, &forward),
+                Backend::Process(command) => {
+                    // Belt and braces: the hint travels inside each work item
+                    // (run_work_item scopes it), and the environment carries
+                    // the same split as the worker-process default for any
+                    // graph work outside an item's scope.
+                    let command = command
+                        .clone()
+                        .env(onion_graph::budget::THREADS_ENV, threads.to_string());
+                    ProcessExecutor::new(command)
+                        .jobs(self.jobs)
+                        .execute_observed(batch, &forward)
+                }
+                Backend::Remote(workers) => {
+                    let mut executor = crate::remote::RemoteExecutor::new(workers.clone());
+                    if let Some(millis) = self.remote_deadline_ms {
+                        executor = executor.deadline_millis(millis);
+                    }
+                    executor.execute_observed(batch, &forward)
+                }
+                Backend::Custom(executor) => executor.execute_observed(batch, &forward),
             }
-            Backend::Remote(workers) => crate::remote::RemoteExecutor::new(workers.clone())
-                .execute_observed(pending, &forward),
-            Backend::Custom(executor) => executor.execute_observed(pending, &forward),
+        };
+        let Some(token) = &self.cancel else {
+            return run_batch(pending);
+        };
+        // Cancellable path: dispatch one `jobs`-sized slice at a time.
+        // The slices only change scheduling granularity — results are
+        // reassembled in (scenario, part) order upstream, so the summary
+        // bytes are identical to the single-batch path.
+        let total = pending.len();
+        let mut queue: std::collections::VecDeque<WorkItem> = pending.into();
+        let mut results = Vec::with_capacity(total);
+        while !queue.is_empty() {
+            if token.load(Ordering::SeqCst) {
+                return Err(ExecutorError::new(format!(
+                    "job cancelled with {} of {total} item(s) still pending",
+                    queue.len()
+                )));
+            }
+            let take = self.jobs.max(1).min(queue.len());
+            let batch: Vec<WorkItem> = queue.drain(..take).collect();
+            results.extend(run_batch(batch)?);
         }
+        Ok(results)
     }
 }
 
@@ -589,6 +647,7 @@ mod tests {
         ) -> Vec<ExperimentReport> {
             // Early parts sleep longest, so with >1 worker the completion
             // order is roughly reversed relative to part order.
+            // detlint: allow(D002) reason="test-only skew: forces completion order != part order to prove merging is order-independent; duration never reaches any report"
             std::thread::sleep(std::time::Duration::from_millis(
                 (self.parts - part) as u64 * 3,
             ));
@@ -966,6 +1025,97 @@ mod tests {
             .run_with_stats(&scenarios());
         assert!(stats.unwrap().all_hits());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_set_cancel_token_aborts_before_any_work_and_stores_nothing() {
+        let (cache, dir) = temp_cache("cancel-early");
+        let token = Arc::new(AtomicBool::new(true));
+        let error = Runner::new(ScenarioParams::with_seed(6))
+            .with_cache(cache.clone())
+            .cancel_token(token)
+            .try_run_with_stats(&scenarios())
+            .unwrap_err();
+        assert_eq!(
+            error.to_string(),
+            "job cancelled with 7 of 7 item(s) still pending"
+        );
+        // Nothing reached the cache: a follow-up run misses everywhere.
+        let (_, stats) = Runner::new(ScenarioParams::with_seed(6))
+            .with_cache(cache)
+            .run_with_stats(&scenarios());
+        let stats = stats.unwrap();
+        assert_eq!(stats.hits, 0, "a cancelled run must not warm the cache");
+        assert_eq!(stats.misses, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_run_cancel_drains_pending_items_and_poisons_nothing() {
+        /// Trips the shared token as soon as the first batch completes,
+        /// so the between-batch check cancels the rest of the run.
+        struct CancelAfterFirst {
+            token: Arc<AtomicBool>,
+            executed: std::sync::Mutex<usize>,
+        }
+        impl Executor for CancelAfterFirst {
+            fn execute(&self, items: Vec<WorkItem>) -> Result<Vec<PartResult>, ExecutorError> {
+                *self.executed.lock().unwrap() += items.len();
+                self.token.store(true, Ordering::SeqCst);
+                Ok(items
+                    .iter()
+                    .map(|item| PartResult::ok(item, vec![]))
+                    .collect())
+            }
+        }
+
+        let (cache, dir) = temp_cache("cancel-mid");
+        let token = Arc::new(AtomicBool::new(false));
+        let backend = Arc::new(CancelAfterFirst {
+            token: token.clone(),
+            executed: std::sync::Mutex::new(0),
+        });
+        let error = Runner::new(ScenarioParams::with_seed(6))
+            .jobs(2)
+            .with_cache(cache.clone())
+            .backend(Backend::Custom(backend.clone()))
+            .cancel_token(token)
+            .try_run_with_stats(&scenarios())
+            .unwrap_err();
+        assert_eq!(
+            error.to_string(),
+            "job cancelled with 5 of 7 item(s) still pending"
+        );
+        assert_eq!(
+            *backend.executed.lock().unwrap(),
+            2,
+            "only the first jobs-sized batch ran"
+        );
+        // Even the *completed* batch is discarded: results are stored
+        // only after the whole dispatch succeeds, so the cache holds no
+        // partial (and here: empty-report) state from the cancelled run.
+        let (_, stats) = Runner::new(ScenarioParams::with_seed(6))
+            .with_cache(cache)
+            .run_with_stats(&scenarios());
+        let stats = stats.unwrap();
+        assert_eq!(stats.hits, 0, "no entry from a cancelled run may survive");
+        assert_eq!(stats.misses, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unset_cancel_token_changes_nothing_about_the_run() {
+        let params = ScenarioParams::with_seed(42);
+        let reference = Runner::new(params.clone()).run(&scenarios());
+        let cancellable = Runner::new(params)
+            .jobs(2)
+            .cancel_token(Arc::new(AtomicBool::new(false)))
+            .run(&scenarios());
+        assert_eq!(
+            cancellable.to_json(),
+            reference.to_json(),
+            "batched dispatch must be byte-identical to the single batch"
+        );
     }
 
     #[test]

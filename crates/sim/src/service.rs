@@ -36,6 +36,17 @@
 //! client that disconnects mid-job merely stops receiving events — the
 //! job still runs to completion, so the shared cache is warmed, never
 //! poisoned.
+//!
+//! Resource use is bounded and jobs are revocable: admission control
+//! refuses submissions beyond [`ServiceConfig::max_active_jobs`]
+//! concurrently running jobs with an [`Event::Rejected`] frame (nothing
+//! queues — the client retries), and [`Request::Cancel`] drains a
+//! running job's remaining work items at the next batch boundary.
+//! Because the runner stores results only after a dispatch fully
+//! succeeds, a cancelled job writes *nothing* to the shared cache — no
+//! partial state can ever be replayed. The `service.job` and
+//! `service.sink` failpoints ([`crate::faults`]) inject daemon-side job
+//! deaths and mid-frame client disconnects for the robustness tests.
 
 // The daemon must never die on a recoverable condition (the doc block
 // above promises exactly that), so panicking extractors are banned in
@@ -57,6 +68,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheLookup, CacheStats, PartFingerprint, ResultCache};
 use crate::executor::WorkerCommand;
+use crate::faults;
 use crate::runner::{
     Backend, PartEvent, RunObserver, RunSummary, Runner, ScenarioOutcome, ThreadsPerItem,
 };
@@ -211,6 +223,16 @@ pub enum Request {
     },
     /// List the registered scenarios. Answered with [`Event::Scenarios`].
     List,
+    /// Cancel a running job: its remaining work items are drained, the
+    /// submitting connection receives [`Event::Cancelled`] as the job's
+    /// final frame, and — because the runner only writes results back
+    /// after a dispatch fully succeeds — nothing from the cancelled job
+    /// reaches the shared cache. Answered with [`Event::Cancelled`] (or
+    /// [`Event::Error`] for an unknown or already finished job).
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+    },
     /// Ask the daemon to drain and exit: submissions are refused from
     /// this point on, in-flight jobs finish, then the serve loop
     /// returns. Answered with [`Event::ShuttingDown`].
@@ -253,6 +275,20 @@ pub enum Event {
         /// Human-readable reason.
         message: String,
     },
+    /// A submission was refused by admission control: the daemon already
+    /// runs its configured maximum of concurrent jobs. Nothing was
+    /// queued — the client should retry after a running job finishes.
+    Rejected {
+        /// Why the submission was refused.
+        reason: String,
+    },
+    /// A job was cancelled: sent as the acknowledgement to
+    /// [`Request::Cancel`] and as the final frame of the cancelled
+    /// submission.
+    Cancelled {
+        /// The cancelled job's id.
+        job: u64,
+    },
     /// The job-table snapshot answering [`Request::Status`].
     Jobs(Vec<JobStatus>),
     /// The registry listing answering [`Request::List`].
@@ -269,6 +305,9 @@ pub enum JobState {
     Running,
     /// The job finished and its summary was delivered.
     Done,
+    /// The job was cancelled before completing; none of its results
+    /// reached the cache.
+    Cancelled,
     /// The job failed with the contained backend error.
     Failed(String),
 }
@@ -310,6 +349,14 @@ pub struct ServiceConfig {
     /// The shared result cache every job resolves against; `None` runs
     /// every job uncached.
     pub cache: Option<ResultCache>,
+    /// Admission bound: how many jobs may run concurrently. A submission
+    /// arriving while this many jobs are `Running` is answered with
+    /// [`Event::Rejected`] instead of being queued — the daemon's memory
+    /// and thread use stay bounded no matter how many clients push work.
+    pub max_active_jobs: usize,
+    /// Per-item reply deadline (milliseconds) for remote-backend jobs;
+    /// `None` keeps the executor default.
+    pub remote_deadline_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -321,9 +368,14 @@ impl Default for ServiceConfig {
             workers: Vec::new(),
             threads_per_item: ThreadsPerItem::Sequential,
             cache: None,
+            max_active_jobs: DEFAULT_MAX_ACTIVE_JOBS,
+            remote_deadline_ms: None,
         }
     }
 }
+
+/// Default admission bound for [`ServiceConfig::max_active_jobs`].
+pub const DEFAULT_MAX_ACTIVE_JOBS: usize = 8;
 
 /// The persistent simulation service: registry + cache + backend loaded
 /// once, serving concurrent NDJSON clients.
@@ -340,6 +392,7 @@ pub struct Service {
     registry: ScenarioRegistry,
     config: ServiceConfig,
     table: Mutex<Vec<JobStatus>>,
+    cancels: Mutex<BTreeMap<u64, std::sync::Arc<AtomicBool>>>,
     next_job: AtomicU64,
     draining: AtomicBool,
     stop_requested: AtomicBool,
@@ -353,6 +406,7 @@ impl Service {
             registry,
             config,
             table: Mutex::new(Vec::new()),
+            cancels: Mutex::new(BTreeMap::new()),
             next_job: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             stop_requested: AtomicBool::new(false),
@@ -502,9 +556,26 @@ impl Service {
             }
         };
         let parts_total: usize = selected.iter().map(|s| s.parts(&params).max(1)).sum();
-        let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
-        {
+        // Admission control: the Running count is checked and the new row
+        // inserted under one table lock, so concurrent submissions cannot
+        // both squeeze past the bound.
+        let job = {
             let mut table = self.table.lock().expect("job table lock");
+            let active = table
+                .iter()
+                .filter(|row| row.state == JobState::Running)
+                .count();
+            if active >= self.config.max_active_jobs.max(1) {
+                sink.send(&Event::Rejected {
+                    reason: format!(
+                        "job queue is full ({active} of {} job slot(s) running); \
+                         retry after a job finishes",
+                        self.config.max_active_jobs.max(1)
+                    ),
+                });
+                return;
+            }
+            let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
             table.push(JobStatus {
                 job,
                 state: JobState::Running,
@@ -513,8 +584,28 @@ impl Service {
                 parts_done: 0,
                 cache: None,
             });
-        }
+            job
+        };
+        let cancel = std::sync::Arc::new(AtomicBool::new(false));
+        self.cancels
+            .lock()
+            .expect("cancel map lock")
+            .insert(job, cancel.clone());
         sink.send(&Event::Accepted { job });
+
+        // The `service.job` failpoint models an accepted job dying inside
+        // the daemon (OOM, a panicked scenario, ...): the table rows it
+        // as Failed and the client gets the typed Error frame.
+        if let Err(error) = faults::hit_io(faults::points::SERVICE_JOB) {
+            let message = error.to_string();
+            self.finish_job(job, JobState::Failed(message.clone()), None);
+            self.cancels.lock().expect("cancel map lock").remove(&job);
+            sink.send(&Event::Error {
+                job: Some(job),
+                message,
+            });
+            return;
+        }
 
         let mut runner = Runner::new(params)
             .jobs(spec.jobs.unwrap_or(self.config.jobs))
@@ -522,7 +613,11 @@ impl Service {
             .threads_per_item(
                 spec.threads_per_item
                     .map_or(self.config.threads_per_item, ThreadsSpec::to_policy),
-            );
+            )
+            .cancel_token(cancel.clone());
+        if let Some(millis) = self.config.remote_deadline_ms {
+            runner = runner.remote_deadline_ms(millis);
+        }
         if let Some(cache) = &self.config.cache {
             runner = runner
                 .with_cache(cache.clone())
@@ -533,7 +628,9 @@ impl Service {
             job,
             sink,
         };
-        match runner.try_run_observed(&selected, &observer) {
+        let outcome = runner.try_run_observed(&selected, &observer);
+        self.cancels.lock().expect("cancel map lock").remove(&job);
+        match outcome {
             Ok((summary, cache)) => {
                 self.finish_job(job, JobState::Done, cache);
                 sink.send(&Event::Done {
@@ -544,11 +641,53 @@ impl Service {
             }
             Err(error) => {
                 let message = error.to_string();
-                self.finish_job(job, JobState::Failed(message.clone()), None);
-                sink.send(&Event::Error {
-                    job: Some(job),
-                    message,
-                });
+                // A cancel that actually drained the run (the token was
+                // tripped *and* the runner aborted on it) closes the job
+                // as Cancelled; any other failure — including one that
+                // raced a late cancel — stays a Failed job with its real
+                // error message.
+                if cancel.load(Ordering::SeqCst) && message.starts_with("job cancelled") {
+                    self.finish_job(job, JobState::Cancelled, None);
+                    sink.send(&Event::Cancelled { job });
+                } else {
+                    self.finish_job(job, JobState::Failed(message.clone()), None);
+                    sink.send(&Event::Error {
+                        job: Some(job),
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Requests cancellation of a running job. The job's remaining items
+    /// are drained at the next batch boundary; its submitter receives
+    /// [`Event::Cancelled`] as the final frame.
+    ///
+    /// # Errors
+    /// Returns a human-readable reason when `job` is unknown or no longer
+    /// running.
+    pub fn cancel_job(&self, job: u64) -> Result<(), String> {
+        let token = self
+            .cancels
+            .lock()
+            .expect("cancel map lock")
+            .get(&job)
+            .cloned();
+        match token {
+            Some(token) => {
+                token.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+            None => {
+                let known = self
+                    .jobs_snapshot(Some(job))
+                    .first()
+                    .map(|row| row.state.clone());
+                Err(match known {
+                    Some(state) => format!("job {job} is not running (state: {state:?})"),
+                    None => format!("unknown job {job}"),
+                })
             }
         }
     }
@@ -558,6 +697,13 @@ impl Service {
             Request::Submit(spec) => self.run_job(&spec, sink),
             Request::Status { job } => sink.send(&Event::Jobs(self.jobs_snapshot(job))),
             Request::List => sink.send(&Event::Scenarios(self.scenario_infos())),
+            Request::Cancel { job } => match self.cancel_job(job) {
+                Ok(()) => sink.send(&Event::Cancelled { job }),
+                Err(message) => sink.send(&Event::Error {
+                    job: Some(job),
+                    message,
+                }),
+            },
             Request::Shutdown => {
                 self.request_stop();
                 sink.send(&Event::ShuttingDown);
@@ -642,6 +788,7 @@ impl Service {
                             let _ = self.handle_connection(reader, stream);
                         });
                     }
+                    // detlint: allow(D002) reason="accept-loop idle poll; paces the nonblocking accept() retry and can never reach an output path"
                     None => std::thread::sleep(Duration::from_millis(20)),
                 }
             }
@@ -748,6 +895,23 @@ impl<W: Write> EventSink<W> {
         }
         let line = serde_json::to_string(event).expect("events serialize");
         let mut writer = self.writer.lock().expect("sink lock");
+        // The `service.sink` failpoint models the peer vanishing mid
+        // stream; a `partial` action additionally delivers a truncated
+        // frame first — the worst case a real half-closed socket can
+        // produce — before the sink goes silent.
+        match faults::hit(faults::points::SERVICE_SINK) {
+            Ok(faults::Injected::None) => {}
+            Ok(faults::Injected::PartialWrite) => {
+                let _ = writer.write_all(&line.as_bytes()[..line.len() / 2]);
+                let _ = writer.flush();
+                self.broken.store(true, Ordering::SeqCst);
+                return;
+            }
+            Err(_) => {
+                self.broken.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
         let outcome = writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -1229,6 +1393,150 @@ mod tests {
         let (_, _, stats) = done_frame(&events);
         assert!(stats.unwrap().all_hits());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_job_table_rejects_submissions_without_queueing() {
+        // Pin a fake Running row so the admission bound (1) is already
+        // met; a real submission must bounce with Rejected and leave no
+        // trace in the table.
+        let service = Service::new(
+            registry(),
+            ServiceConfig {
+                max_active_jobs: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        service.table.lock().unwrap().push(JobStatus {
+            job: 99,
+            state: JobState::Running,
+            scenarios: vec!["s1".to_string()],
+            parts_total: 3,
+            parts_done: 0,
+            cache: None,
+        });
+        let events = roundtrip(&service, &[submit_frame(&spec_with_seed(5))]);
+        assert_eq!(events.len(), 1);
+        let Event::Rejected { reason } = &events[0] else {
+            panic!("expected Rejected, got {:?}", events[0]);
+        };
+        assert!(reason.contains("job queue is full"), "{reason}");
+        assert_eq!(service.jobs_snapshot(None).len(), 1, "nothing was queued");
+        // Freeing the slot lets the next submission through.
+        service.table.lock().unwrap()[0].state = JobState::Done;
+        let events = roundtrip(&service, &[submit_frame(&spec_with_seed(5))]);
+        let (_, _, _) = done_frame(&events);
+    }
+
+    #[test]
+    fn cancelled_job_drains_and_poisons_nothing() {
+        /// A scenario whose first part cancels its own job — a
+        /// deterministic stand-in for a second client connection sending
+        /// `Cancel` while the job is mid-run (no timing race: the token
+        /// is guaranteed set before the second single-item batch).
+        struct CancelSelf {
+            service: std::sync::Weak<Service>,
+        }
+        impl Scenario for CancelSelf {
+            fn id(&self) -> &str {
+                "cancel-self"
+            }
+            fn title(&self) -> &str {
+                "self-cancelling scenario"
+            }
+            fn parts(&self, _params: &ScenarioParams) -> usize {
+                5
+            }
+            fn run_part(
+                &self,
+                part: usize,
+                _params: &ScenarioParams,
+                rng: &mut StdRng,
+            ) -> Vec<ExperimentReport> {
+                if part == 0 {
+                    if let Some(service) = self.service.upgrade() {
+                        // Ignored Err: on the *resubmission* below job 1
+                        // is already gone, which is exactly the point.
+                        let _ = service.cancel_job(1);
+                    }
+                }
+                let mut r = ExperimentReport::new("cancel-self", "toy", "part", "value");
+                r.push_series(Series::new(
+                    "trace",
+                    vec![part as f64],
+                    vec![rng.gen_range(0.0f64..1.0)],
+                ));
+                vec![r]
+            }
+        }
+
+        let (cache, dir) = temp_cache("cancel");
+        let service = Arc::new_cyclic(|weak: &std::sync::Weak<Service>| {
+            let mut registry = ScenarioRegistry::new();
+            registry.register(CancelSelf {
+                service: weak.clone(),
+            });
+            Service::new(
+                registry,
+                ServiceConfig {
+                    jobs: 1,
+                    cache: Some(cache),
+                    ..ServiceConfig::default()
+                },
+            )
+        });
+        // jobs=1 → 5 single-item batches with a token check between each:
+        // part 0 trips the token, the check before batch 2 drains.
+        let events = roundtrip(&service, &[submit_frame(&spec_with_seed(13))]);
+        assert_eq!(
+            events.last(),
+            Some(&Event::Cancelled { job: 1 }),
+            "the submitter's final frame is Cancelled: {events:?}"
+        );
+        let rows = service.jobs_snapshot(Some(1));
+        assert_eq!(rows[0].state, JobState::Cancelled);
+        // Nothing from the cancelled job reached the shared cache — not
+        // even the part that *did* complete before the cancel: the same
+        // spec resubmitted misses everywhere.
+        let redo = roundtrip(&service, &[submit_frame(&spec_with_seed(13))]);
+        let (_, _, stats) = done_frame(&redo);
+        let stats = stats.unwrap();
+        assert_eq!(stats.hits, 0, "a cancelled job must not warm the cache");
+        assert_eq!(stats.misses, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelling_unknown_or_finished_jobs_answers_an_error() {
+        let service = service(None);
+        let done = roundtrip(&service, &[submit_frame(&spec_with_seed(2))]);
+        let (job, _, _) = done_frame(&done);
+        let events = roundtrip(
+            &service,
+            &[
+                serde_json::to_string(&Request::Cancel { job }).unwrap(),
+                serde_json::to_string(&Request::Cancel { job: 77 }).unwrap(),
+            ],
+        );
+        let Event::Error {
+            job: Some(1),
+            message,
+        } = &events[0]
+        else {
+            panic!(
+                "expected an Error for the finished job, got {:?}",
+                events[0]
+            );
+        };
+        assert!(message.contains("not running"), "{message}");
+        let Event::Error {
+            job: Some(77),
+            message,
+        } = &events[1]
+        else {
+            panic!("expected an Error for the unknown job, got {:?}", events[1]);
+        };
+        assert!(message.contains("unknown job"), "{message}");
     }
 
     #[test]

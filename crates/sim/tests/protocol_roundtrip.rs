@@ -9,7 +9,6 @@
 //! contract, and the worker-host side must *reject* — never execute —
 //! malformed or version-skewed handshakes.
 
-use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -435,8 +434,7 @@ fn serve_lines(lines: &[&str]) -> (std::io::Result<()>, Vec<WorkerFrame>) {
         .map(|line| format!("{line}\n"))
         .collect::<String>();
     let mut output = Vec::new();
-    let completed = AtomicUsize::new(0);
-    let outcome = serve_remote_connection(input.as_bytes(), &mut output, None, &completed, |id| {
+    let outcome = serve_remote_connection(input.as_bytes(), &mut output, |id| {
         (id == "toy").then(|| Arc::new(Toy) as Arc<dyn Scenario>)
     });
     let frames = String::from_utf8(output)
